@@ -1,0 +1,27 @@
+"""Session fixtures shared by the benchmark suite.
+
+The :class:`~benchmarks._shared.BenchRunner` is session-scoped so runs
+are simulated once and reused across tables (e.g. the TPC-C 75%-buffer
+trace feeds Tables 1, 3 and 4).
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _shared import BenchRunner  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def runner() -> BenchRunner:
+    return BenchRunner()
+
+
+def pytest_configure(config):
+    # The benchmark suite is experiment reproduction, not micro-timing:
+    # single-shot pedantic runs are the intended mode.
+    config.addinivalue_line("markers", "table: reproduces a paper table")
+    config.addinivalue_line("markers", "figure: reproduces a paper figure")

@@ -1,0 +1,46 @@
+"""Figure 7 — CDF of TPC-B update sizes (net data), buffers 10-90%.
+
+Paper shape: a sharp step at 4 bytes (the ``balance += delta`` updates)
+reaching 50-90% depending on buffer size, >80% by 8 bytes, and a long
+thin tail.
+"""
+
+import pytest
+
+from _shared import WORKLOADS, publish
+from repro.analysis import CDF, ascii_cdf
+
+BUFFERS = (0.10, 0.50, 0.90)
+GRID = [1, 2, 4, 8, 16, 32, 64, 128, 256, 1024]
+
+
+@pytest.mark.figure
+def test_figure07_tpcb_cdf(runner, benchmark):
+    def experiment():
+        series = {}
+        for fraction in BUFFERS:
+            run = runner.run(
+                "tpcb",
+                scheme=WORKLOADS["tpcb"]["default_scheme"],
+                buffer_fraction=fraction,
+            )
+            series[fraction] = CDF.from_samples(run.collector.sizes())
+        return series
+
+    series = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    publish(
+        "figure07_tpcb_cdf",
+        "Figure 7: TPC-B update-size CDF in net bytes (eager eviction)\n"
+        + ascii_cdf({f"{int(f*100)}% buf": series[f].points(GRID) for f in BUFFERS}),
+    )
+
+    for fraction in BUFFERS:
+        cdf = series[fraction]
+        # The 4-byte step: a large share of update I/Os change <= 4B net.
+        assert cdf.at(4) > 25.0, fraction
+        # >60% of update I/Os change at most 8 bytes for small buffers.
+        assert cdf.at(8) >= cdf.at(4)
+        assert cdf.at(1024) > 95.0
+    # Smaller buffers flush pages with fewer accumulated updates.
+    assert series[0.10].at(8) >= series[0.90].at(8) - 5.0

@@ -1,0 +1,89 @@
+"""Table 1 — Update-sizes in TPC-B/-C and LinkBench.
+
+Paper setting: buffer 75% of the initial DB size, eager eviction.
+Reported: the percentile at which update I/Os change at most
+3/7/20/100/125 bytes — net data for TPC-B/-C, gross for LinkBench.
+
+Paper reference values::
+
+    <= bytes   TPC-B(net)  TPC-C(net)  LinkBench(gross)
+    3          10          55          0
+    7          62          83          0
+    20         99          88          5
+    100        99          93          40
+    125        99          94          50
+
+The reproduction must show the same ordering: TPC-C dominated by <=3
+byte updates, TPC-B by 4-7 byte updates, LinkBench only reaching its
+mass near 100+ bytes.
+"""
+
+import pytest
+
+from _shared import publish
+from repro.analysis import format_table, percentile_at_most
+
+THRESHOLDS = [3, 7, 20, 100, 125]
+
+PAPER = {
+    "tpcb": {3: 10, 7: 62, 20: 99, 100: 99, 125: 99},
+    "tpcc": {3: 55, 7: 83, 20: 88, 100: 93, 125: 94},
+    "linkbench": {3: 0, 7: 0, 20: 5, 100: 40, 125: 50},
+}
+
+
+@pytest.mark.table
+def test_table01_update_sizes(runner, benchmark):
+    def experiment():
+        samples = {}
+        for workload in ("tpcb", "tpcc", "linkbench"):
+            run = runner.trace(workload, buffer_fraction=0.75, eviction="eager")
+            samples[workload] = run.collector.sizes(gross=(workload == "linkbench"))
+        return samples
+
+    samples = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = []
+    measured = {}
+    for threshold in THRESHOLDS:
+        row = [f"<= {threshold}"]
+        for workload in ("tpcb", "tpcc", "linkbench"):
+            value = percentile_at_most(samples[workload], threshold)
+            measured.setdefault(workload, {})[threshold] = value
+            row.append(value)
+            row.append(PAPER[workload][threshold])
+        rows.append(row)
+    publish(
+        "table01_update_sizes",
+        format_table(
+            ["bytes", "TPC-B %", "(paper)", "TPC-C %", "(paper)", "LinkBench %", "(paper)"],
+            rows,
+            title="Table 1: update-size percentiles (buffer 75%, eager eviction)",
+        ),
+    )
+
+    # Shape assertions.  Note a granularity difference documented in
+    # EXPERIMENTS.md: our tracker counts the exact bytes that differ
+    # (what IPA programs), while the paper's profiler reports
+    # attribute-size changes — e.g. a TPC-B `balance += delta` counts
+    # as 4 bytes there but often flips fewer bytes physically.  The
+    # byte-granular distributions are therefore shifted left, but the
+    # orderings between workloads hold.
+    assert len(samples["tpcb"]) > 100
+    # TPC-B: the single-attribute updates land by 7-8 bytes (paper:
+    # 62nd percentile at <=7, 99th at <=20).
+    assert measured["tpcb"][7] > 55
+    assert measured["tpcb"][20] > 85
+    # TPC-C has a heavy small-update head (STOCK patches) but a fatter
+    # tail than TPC-B (Payment's c_data rewrites): by 125 bytes TPC-B
+    # has accumulated at least as much mass.
+    assert measured["tpcc"][3] > 25
+    assert measured["tpcc"][7] > 40
+    assert measured["tpcb"][125] >= measured["tpcc"][125] - 3
+    # LinkBench updates are 1-2 orders larger: almost nothing <= 7B,
+    # substantial mass only at >= 100B.
+    assert measured["linkbench"][7] < measured["tpcb"][7]
+    assert measured["linkbench"][125] > measured["linkbench"][20]
+    # Both TPC workloads: large majority of update I/Os <= 125 bytes.
+    assert measured["tpcb"][125] > 80
+    assert measured["tpcc"][125] > 80

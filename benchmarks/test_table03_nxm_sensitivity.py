@@ -1,0 +1,146 @@
+"""Table 3 — [N x M] sensitivity for TPC-C and LinkBench.
+
+Per scheme the paper reports three numbers: the fraction of update I/Os
+performed as IPA (black), the space overhead of the delta area (red),
+and the reduction in erases per host write (blue).
+
+Paper reference points (TPC-C, 75% buffer, 4KB pages, net M):
+
+    [1x3] 34.7% IPA, 1.1% space, -32% erases
+    [2x3] 46.1% IPA, 2.2% space, -43% erases
+    [3x3] 51.6% IPA, 3.4% space, -49% erases
+    [4x6] 64.2% IPA, 5.4% space, -62% erases
+
+LinkBench (75% buffer, 8KB pages, gross M): [1x100] 28.2%/3%,
+[2x125] 43%/9.2%, [3x125] 47%/13.8%.
+
+Reproduced shape: IPA fraction grows monotonically in both N and M with
+diminishing returns; space overhead is linear in N*(1+3(M+V)); erase
+reduction tracks the IPA fraction.
+"""
+
+import pytest
+
+from _shared import publish, scheme_decisions
+from repro.core import NxMScheme
+from repro.analysis import format_table
+from repro.ipl import IPAReplay, replay_events
+from repro.ipl.config import IPLConfig
+
+#: 4 KiB DB pages on a 4 KiB-page flash with 64-page erase units.
+_REPLAY_CONFIG = IPLConfig(
+    db_page_size=4096, flash_page_size=4096, pages_per_erase_unit=64,
+    log_region_bytes=8192, sector_bytes=512,
+)
+
+
+def _erase_reduction(events, scheme, baseline_erases, max_lpn):
+    replay = IPAReplay(max_lpn + 1, scheme, config=_REPLAY_CONFIG, overprovisioning=0.40)
+    replay_events(events, replay)
+    if baseline_erases == 0:
+        return 0.0
+    return 100.0 * (replay.erases - baseline_erases) / baseline_erases
+
+
+@pytest.mark.table
+def test_table03_tpcc_sensitivity(runner, benchmark):
+    def experiment():
+        run = runner.trace("tpcc", buffer_fraction=0.75)
+        events = run.trace.events
+        max_lpn = max(event.lpn for event in events)
+        baseline = IPAReplay(max_lpn + 1, NxMScheme(1, 1), config=_REPLAY_CONFIG,
+                             overprovisioning=0.40)
+        # Baseline: force every write out-of-place with a never-fitting scheme.
+        for event in events:
+            if event.op == "fetch":
+                baseline.on_fetch(event.lpn)
+            else:
+                baseline.on_write(event.lpn, 10_000, 10_000)
+        grid = {}
+        for n in (1, 2, 3, 4):
+            for m in (3, 6, 10, 15, 20):
+                scheme = NxMScheme(n, m)
+                counts = scheme_decisions(run.trace, scheme)
+                reduction = _erase_reduction(events, scheme, baseline.erases, max_lpn)
+                grid[(n, m)] = (
+                    100.0 * counts.ipa_fraction,
+                    100.0 * scheme.space_overhead(4096),
+                    reduction,
+                )
+        return grid
+
+    grid = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = []
+    for n in (1, 2, 3, 4):
+        row = [f"N={n}"]
+        for m in (3, 6, 10, 15, 20):
+            ipa, space, erases = grid[(n, m)]
+            row.append(f"{ipa:.1f} {space:.1f} {erases:+.0f}")
+        rows.append(row)
+    publish(
+        "table03_nxm_sensitivity_tpcc",
+        format_table(
+            ["", "M=3", "M=6", "M=10", "M=15", "M=20"],
+            rows,
+            title=(
+                "Table 3 (TPC-C, 75% buffer): per cell 'IPA% space% erase-change%'\n"
+                "paper e.g. [2x3]=46.1/2.2/-43, [3x3]=51.6/3.4/-49, [4x6]=64.2/5.4/-62"
+            ),
+        ),
+    )
+
+    # Monotonic in N at fixed M.
+    for m in (3, 6, 10, 15, 20):
+        fractions = [grid[(n, m)][0] for n in (1, 2, 3, 4)]
+        assert all(b >= a - 1e-9 for a, b in zip(fractions, fractions[1:]))
+    # Monotonic (non-decreasing) in M at fixed N.
+    for n in (1, 2, 3, 4):
+        fractions = [grid[(n, m)][0] for m in (3, 6, 10, 15, 20)]
+        assert all(b >= a - 1e-9 for a, b in zip(fractions, fractions[1:]))
+    # Space overhead exactly per the formula (Table 3's red numbers).
+    assert grid[(2, 3)][1] == pytest.approx(100 * 92 / 4096, abs=0.01)
+    # A mid-size scheme reaches a substantial IPA share, and erases drop.
+    assert grid[(2, 3)][0] > 25.0
+    assert grid[(4, 6)][0] > grid[(1, 3)][0]
+    assert grid[(2, 3)][2] < -10.0
+
+
+@pytest.mark.table
+def test_table03_linkbench_sensitivity(runner, benchmark):
+    def experiment():
+        run = runner.trace("linkbench", buffer_fraction=0.75)
+        grid = {}
+        for n in (1, 2, 3):
+            for m in (100, 125):
+                scheme = NxMScheme(n, m)
+                counts = scheme_decisions(run.trace, scheme)
+                grid[(n, m)] = (
+                    100.0 * counts.ipa_fraction,
+                    100.0 * scheme.space_overhead(8192),
+                )
+        return grid
+
+    grid = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = [
+        [f"N={n}", f"{grid[(n, 100)][0]:.1f} / {grid[(n, 100)][1]:.1f}",
+         f"{grid[(n, 125)][0]:.1f} / {grid[(n, 125)][1]:.1f}"]
+        for n in (1, 2, 3)
+    ]
+    publish(
+        "table03_nxm_sensitivity_linkbench",
+        format_table(
+            ["", "M=100 (IPA%/space%)", "M=125 (IPA%/space%)"],
+            rows,
+            title=(
+                "Table 3 (LinkBench, 75% buffer, 8KB pages)\n"
+                "paper: [1x100]=28.2/3.0  [2x125]=43/9.2  [3x125]=47/13.8"
+            ),
+        ),
+    )
+    assert grid[(2, 100)][0] > grid[(1, 100)][0]
+    assert grid[(3, 125)][0] >= grid[(3, 100)][0]
+    # Space overhead is linear in N (the delta area is N fixed slots).
+    assert grid[(2, 100)][1] == pytest.approx(2 * grid[(1, 100)][1], rel=1e-6)
+    assert grid[(3, 125)][1] == pytest.approx(3 * grid[(1, 125)][1], rel=1e-6)

@@ -1,0 +1,90 @@
+"""Table 6 — TPC-B on OpenSSD: [0x0] vs [2x4] in pSLC and odd-MLC modes.
+
+The OpenSSD Jasmine platform: MLC flash, serialized host I/O (no NCQ),
+tiny buffer (1.5% of the DB in the paper; scaled here), 10% OP.
+
+Paper reference (relative to [0x0])::
+
+                              2x4 pSLC    2x4 odd-MLC
+    OOP vs IPA split          33/67       50/50
+    GC page migrations        -75%        -48%
+    GC erases                 -54%        -51%
+    Migrations/host write     -83%        -56%
+    Erases/host write         -70%        -59%
+    Txn throughput            +48%        +22%
+
+Shape: pSLC converts about two thirds of writes into appends (every
+page sits on an LSB page), odd-MLC about half (MSB residents must fall
+back), and both cut GC work massively, pSLC more.
+"""
+
+import pytest
+
+from _shared import publish
+from repro.analysis import format_table, relative_change
+from repro.core import NxMScheme
+from repro.ftl.region import IPAMode
+
+
+@pytest.mark.table
+def test_table06_tpcb_openssd(runner, benchmark):
+    def experiment():
+        base = runner.run("tpcb", platform="openssd", mode=IPAMode.ODD_MLC,
+                          buffer_fraction=0.05)
+        # The pSLC region halves the usable pages per erase unit; on the
+        # paper's 64 GB board it was carved from abundant raw flash, so
+        # its effective spare factor was well above the odd-MLC
+        # region's.  We model that with 25% OP for the pSLC run.
+        pslc = runner.run("tpcb", scheme=NxMScheme(2, 4), platform="openssd",
+                          mode=IPAMode.PSLC, buffer_fraction=0.05,
+                          overprovisioning=0.25)
+        odd = runner.run("tpcb", scheme=NxMScheme(2, 4), platform="openssd",
+                         mode=IPAMode.ODD_MLC, buffer_fraction=0.05)
+        return base, pslc, odd
+
+    base, pslc, odd = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    def row(metric, getter, paper_pslc, paper_odd):
+        b, p, o = getter(base), getter(pslc), getter(odd)
+        return [metric, b, p, relative_change(b, p), paper_pslc,
+                o, relative_change(b, o), paper_odd]
+
+    rows = [
+        row("GC page migrations", lambda r: r.device["gc_page_migrations"], -75, -48),
+        row("GC erases", lambda r: r.device["gc_erases"], -54, -51),
+        row("Migrations/host write",
+            lambda r: r.device["migrations_per_host_write"], -83, -56),
+        row("Erases/host write",
+            lambda r: r.device["erases_per_host_write"], -70, -59),
+        row("Txn throughput (tps)", lambda r: r.result.throughput_tps, +48, +22),
+    ]
+    split = [
+        "OOP/IPA split [%]",
+        "100/0",
+        f"{100 * (1 - pslc.device['ipa_fraction']):.0f}/{100 * pslc.device['ipa_fraction']:.0f}",
+        "(paper 33/67)",
+        "",
+        f"{100 * (1 - odd.device['ipa_fraction']):.0f}/{100 * odd.device['ipa_fraction']:.0f}",
+        "(paper 50/50)",
+        "",
+    ]
+    publish(
+        "table06_tpcb_openssd",
+        format_table(
+            ["metric", "0x0 abs", "pSLC abs", "pSLC rel%", "(paper%)",
+             "oddMLC abs", "oddMLC rel%", "(paper%)"],
+            [split] + rows,
+            title="Table 6: TPC-B on OpenSSD (MLC, serialized I/O, ~5% buffer)",
+        ),
+    )
+
+    # Both IPA modes reduce GC erases and migrations per host write.
+    for run in (pslc, odd):
+        assert run.device["erases_per_host_write"] < base.device["erases_per_host_write"]
+        assert (run.device["migrations_per_host_write"]
+                < base.device["migrations_per_host_write"])
+    # pSLC appends strictly more often than odd-MLC (MSB fallbacks).
+    assert pslc.device["ipa_fraction"] > odd.device["ipa_fraction"]
+    assert odd.device["ipa_fraction"] > 0.15
+    # Throughput improves with IPA on the serialized board.
+    assert pslc.result.throughput_tps > base.result.throughput_tps

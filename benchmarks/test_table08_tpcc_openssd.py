@@ -1,0 +1,78 @@
+"""Table 8 — TPC-C on OpenSSD: [0x0] vs [2x3] in pSLC and odd-MLC modes.
+
+Paper reference (relative to [0x0])::
+
+                              2x3 pSLC    2x3 odd-MLC
+    OOP vs IPA split          49/51       70/30
+    GC page migrations        -81%        -45%
+    GC erases                 -60%        -47%
+    Migrations/host write     -86%        -52%
+    Erases/host write         -70%        -53%
+    Txn throughput            +46%        +11%
+"""
+
+import pytest
+
+from _shared import publish
+from repro.analysis import format_table, relative_change
+from repro.core import NxMScheme
+from repro.ftl.region import IPAMode
+
+
+@pytest.mark.table
+def test_table08_tpcc_openssd(runner, benchmark):
+    def experiment():
+        base = runner.run("tpcc", platform="openssd", mode=IPAMode.ODD_MLC,
+                          buffer_fraction=0.05)
+        # The pSLC region halves the usable pages per erase unit; on the
+        # paper's 64 GB board it was carved from abundant raw flash, so
+        # its effective spare factor was well above the odd-MLC
+        # region's.  We model that with 25% OP for the pSLC run.
+        pslc = runner.run("tpcc", scheme=NxMScheme(2, 3), platform="openssd",
+                          mode=IPAMode.PSLC, buffer_fraction=0.05,
+                          overprovisioning=0.25)
+        odd = runner.run("tpcc", scheme=NxMScheme(2, 3), platform="openssd",
+                         mode=IPAMode.ODD_MLC, buffer_fraction=0.05)
+        return base, pslc, odd
+
+    base, pslc, odd = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    metrics = [
+        ("IPA fraction [%]", lambda r: 100 * r.device["ipa_fraction"], 51, 30),
+        ("GC page migrations", lambda r: r.device["gc_page_migrations"], -81, -45),
+        ("GC erases", lambda r: r.device["gc_erases"], -60, -47),
+        ("Migr/host write", lambda r: r.device["migrations_per_host_write"], -86, -52),
+        ("Erases/host write", lambda r: r.device["erases_per_host_write"], -70, -53),
+        ("Throughput [tps]", lambda r: r.result.throughput_tps, +46, +11),
+    ]
+    rows = []
+    for name, getter, paper_pslc, paper_odd in metrics:
+        b = getter(base)
+        absolute_row = name.startswith("IPA")  # the baseline share is 0
+        rows.append([
+            name, b,
+            getter(pslc),
+            "abs" if absolute_row else relative_change(b, getter(pslc)),
+            paper_pslc,
+            getter(odd),
+            "abs" if absolute_row else relative_change(b, getter(odd)),
+            paper_odd,
+        ])
+    publish(
+        "table08_tpcc_openssd",
+        format_table(
+            ["metric", "0x0", "pSLC", "pSLC rel%", "(paper)",
+             "oddMLC", "oddMLC rel%", "(paper)"],
+            rows,
+            title="Table 8: TPC-C on OpenSSD (MLC, serialized I/O)",
+        ),
+    )
+
+    assert pslc.device["ipa_fraction"] > odd.device["ipa_fraction"]
+    for run in (pslc, odd):
+        assert run.device["erases_per_host_write"] < base.device["erases_per_host_write"]
+        assert (run.device["migrations_per_host_write"]
+                < base.device["migrations_per_host_write"])
+    # pSLC reduces GC more than odd-MLC (more appends, LSB programs).
+    assert (pslc.device["migrations_per_host_write"]
+            <= odd.device["migrations_per_host_write"])

@@ -1,0 +1,94 @@
+"""Table 10 — TPC-C, non-eager eviction: [0x0] vs [2xM], M grown with buffer.
+
+Turning off eager eviction and eager log reclamation lets updates
+accumulate on buffered pages, so per-flush update sizes grow with the
+buffer (Table 11) and larger M values are needed:
+M = 10 (10-20% buffer), 30 (50%), 40 (75-90%).
+
+Paper reference ([2xM] relative to [0x0])::
+
+    buffer           10%     20%     50%     75%     90%
+    scheme          2x10    2x10    2x30    2x40    2x40
+    IPA share        59%     56%     49%     37%     33%
+    Migr/HW        -62.9   -50.3   -33.9   -22.8   -22.1
+    Erases/HW      -61.5   -55.1   -38.8   -24.3   -21.7
+    Throughput     +15.4    +7.0    +3.3    +1.1    +3.7
+
+Shape: host writes now *decrease* with buffer size (accumulation), and
+even at 90% buffer at least a third of writes still go as appends.
+"""
+
+import pytest
+
+from _shared import publish
+from repro.analysis import format_table, relative_change
+from repro.core import NxMScheme
+
+CONFIG = [
+    (0.10, NxMScheme(2, 10)),
+    (0.20, NxMScheme(2, 10)),
+    (0.50, NxMScheme(2, 30)),
+    (0.75, NxMScheme(2, 40)),
+    (0.90, NxMScheme(2, 40)),
+]
+
+
+@pytest.mark.table
+def test_table10_tpcc_buffers_noneager(runner, benchmark):
+    def experiment():
+        runs = {}
+        for fraction, scheme in CONFIG:
+            runs[("0x0", fraction)] = runner.run(
+                "tpcc", buffer_fraction=fraction, eviction="non-eager"
+            )
+            runs[("ipa", fraction)] = runner.run(
+                "tpcc", scheme=scheme, buffer_fraction=fraction,
+                eviction="non-eager",
+            )
+        return runs
+
+    runs = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    metrics = [
+        ("Host writes", lambda r: r.device["host_writes"]),
+        ("IPA share [%]", lambda r: 100 * r.device["ipa_fraction"]),
+        ("Migr/HW", lambda r: r.device["migrations_per_host_write"]),
+        ("Erases/HW", lambda r: r.device["erases_per_host_write"]),
+        ("Throughput [tps]", lambda r: r.result.throughput_tps),
+    ]
+    rows = []
+    for name, getter in metrics:
+        row = [name]
+        absolute_row = name.startswith("IPA")  # the baseline share is 0
+        for fraction, scheme in CONFIG:
+            base = getter(runs[("0x0", fraction)])
+            value = getter(runs[("ipa", fraction)])
+            row.append(base)
+            row.append(value if absolute_row else relative_change(base, value))
+        rows.append(row)
+    headers = ["metric"]
+    for fraction, scheme in CONFIG:
+        headers += [f"{int(fraction * 100)}% {scheme} abs", "rel%"]
+    publish(
+        "table10_tpcc_buffers_noneager",
+        format_table(
+            headers, rows,
+            title=(
+                "Table 10: TPC-C, non-eager eviction, [0x0] abs vs [2xM] rel\n"
+                "paper: IPA share 59..33%, erases/HW -62..-22%"
+            ),
+        ),
+    )
+
+    for fraction, scheme in CONFIG:
+        ipa = runs[("ipa", fraction)]
+        base = runs[("0x0", fraction)]
+        # Even at 90% buffer a meaningful share of writes are appends.
+        assert ipa.device["ipa_fraction"] > 0.20, fraction
+        assert ipa.device["erases_per_host_write"] <= max(
+            base.device["erases_per_host_write"], 1e-9
+        ), fraction
+    # Non-eager accumulation: host writes shrink as the buffer grows
+    # (the opposite of the eager Table 9 behaviour).
+    writes = [runs[("0x0", fraction)].device["host_writes"] for fraction, __ in CONFIG]
+    assert writes[0] > writes[-1]

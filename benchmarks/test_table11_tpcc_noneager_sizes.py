@@ -1,0 +1,78 @@
+"""Table 11 — TPC-C update-size percentiles under non-eager eviction.
+
+With eviction and log reclamation relaxed, buffered pages accumulate
+many updates before flushing, so per-write update sizes grow with the
+buffer.
+
+Paper reference (percent of update I/Os changing at most N bytes)::
+
+    bytes     10%   20%   50%   75%   90%   (buffer size)
+    <= 3      61    34     1     1     1
+    <= 6      80    64     5     5     4
+    <= 10     88    83    14    13    10
+    <= 30     89    88    74    58    60
+    <= 40     90    89    76    71    72
+"""
+
+import pytest
+
+from _shared import WORKLOADS, publish
+from repro.analysis import format_table, percentile_at_most
+
+BUFFERS = (0.10, 0.20, 0.50, 0.75, 0.90)
+THRESHOLDS = (3, 6, 10, 30, 40)
+
+PAPER = {
+    3: [61, 34, 1, 1, 1],
+    6: [80, 64, 5, 5, 4],
+    10: [88, 83, 14, 13, 10],
+    30: [89, 88, 74, 58, 60],
+    40: [90, 89, 76, 71, 72],
+}
+
+
+@pytest.mark.table
+def test_table11_tpcc_noneager_sizes(runner, benchmark):
+    def experiment():
+        samples = {}
+        for fraction in BUFFERS:
+            run = runner.run(
+                "tpcc",
+                scheme=WORKLOADS["tpcc"]["default_scheme"],
+                buffer_fraction=fraction,
+                eviction="non-eager",
+            )
+            samples[fraction] = run.collector.sizes()
+        return samples
+
+    samples = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = []
+    table = {}
+    for threshold in THRESHOLDS:
+        row = [f"<= {threshold}"]
+        for fraction in BUFFERS:
+            value = percentile_at_most(samples[fraction], threshold)
+            table[(threshold, fraction)] = value
+            row.append(value)
+        row.append("/".join(str(v) for v in PAPER[threshold]))
+        rows.append(row)
+    publish(
+        "table11_tpcc_noneager_sizes",
+        format_table(
+            ["bytes"] + [f"{int(f * 100)}% buf" for f in BUFFERS] + ["(paper)"],
+            rows,
+            title="Table 11: TPC-C update-size percentiles, non-eager eviction",
+        ),
+    )
+
+    # Accumulation effect: small updates dominate at small buffers and
+    # almost vanish at large ones.
+    assert table[(6, 0.10)] > table[(6, 0.90)] + 15
+    assert table[(3, 0.10)] > 25
+    # CDF is monotone in the threshold at every buffer size.
+    for fraction in BUFFERS:
+        series = [table[(t, fraction)] for t in THRESHOLDS]
+        assert all(b >= a for a, b in zip(series, series[1:]))
+    # Larger buffers shift the whole distribution right.
+    assert table[(30, 0.50)] > table[(6, 0.50)]

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""write_delta on a conventional SSD (paper Section 7) vs native NoFTL.
+
+The paper argues IPA is cheapest under NoFTL — the DBMS knows each
+page's physical state, so it only issues `write_delta` when the append
+will succeed — but "can be realized on traditional SSDs, by extending
+the block-device interface and the on-board controller functionality at
+the cost of lower performance".
+
+This example drives the same update stream against both realizations on
+MLC flash in odd-MLC mode, where roughly half of all pages sit on MSB
+positions that cannot take appends:
+
+* the **NoFTL** engine checks placement and falls back itself (the
+  fallback is an ordinary page write);
+* the **BlockSSD** host issues `write_delta` blindly; the device must
+  absorb impossible appends with an internal read-modify-write, paying
+  an extra read each time.
+
+Run:  python examples/conventional_ssd.py
+"""
+
+import random
+
+from repro.flash import CellType, FlashGeometry, FlashMemory
+from repro.ftl import BlockSSD, IPAMode, single_region_device
+
+
+def geometry():
+    return FlashGeometry(
+        chips=4, blocks_per_chip=48, pages_per_block=32,
+        page_size=2048, oob_size=64, cell_type=CellType.MLC,
+    )
+
+
+PAGES = 256
+TAIL = 256  # erased delta tail per page
+ROUNDS = 6
+
+
+def page_image(fill):
+    return bytes([fill]) * (2048 - TAIL) + b"\xff" * TAIL
+
+
+def drive_noftl():
+    """Host with mapping knowledge: checks before appending."""
+    device = single_region_device(
+        FlashMemory(geometry()), logical_pages=PAGES, ipa_mode=IPAMode.ODD_MLC,
+    )
+    rng = random.Random(1)
+    offsets = {lpn: 0 for lpn in range(PAGES)}
+    for lpn in range(PAGES):
+        device.write(lpn, page_image(0x10))
+    extra_reads = 0
+    for round_number in range(ROUNDS):
+        for lpn in range(PAGES):
+            payload = bytes([rng.randrange(200)])
+            offset = 2048 - TAIL + offsets[lpn]
+            if offsets[lpn] + 1 <= TAIL and device.can_write_delta(lpn, offset, 1):
+                device.write_delta(lpn, offset, payload)
+                offsets[lpn] += 1
+            else:
+                device.write(lpn, page_image(round_number))
+                offsets[lpn] = 0
+    return device.stats, extra_reads
+
+
+def drive_blockssd():
+    """Black-box host: issues write_delta blindly, device absorbs."""
+    ssd = BlockSSD(FlashMemory(geometry()), capacity_pages=PAGES,
+                   ipa_mode=IPAMode.ODD_MLC)
+    rng = random.Random(1)
+    offsets = {lpn: 0 for lpn in range(PAGES)}
+    for lpn in range(PAGES):
+        ssd.write_block(lpn, page_image(0x10))
+    for round_number in range(ROUNDS):
+        for lpn in range(PAGES):
+            payload = bytes([rng.randrange(200)])
+            if offsets[lpn] + 1 > TAIL:
+                ssd.write_block(lpn, page_image(round_number))
+                offsets[lpn] = 0
+                continue
+            ssd.write_delta(lpn, 2048 - TAIL + offsets[lpn], payload)
+            offsets[lpn] += 1
+    return ssd
+
+
+def main():
+    noftl_stats, __ = drive_noftl()
+    ssd = drive_blockssd()
+    internal = ssd.internal.stats
+
+    print(f"{'':34} {'NoFTL':>10} {'BlockSSD':>10}")
+    rows = [
+        ("appends executed in place", noftl_stats.delta_writes,
+         ssd.stats.deltas_in_place),
+        ("out-of-place page writes", noftl_stats.host_page_writes,
+         internal.host_page_writes),
+        ("device-internal RMW fallbacks", 0, ssd.stats.deltas_rmw),
+        ("device-internal extra reads", 0, ssd.stats.deltas_rmw),
+        ("GC erases", noftl_stats.gc_erases, internal.gc_erases),
+    ]
+    for label, a, b in rows:
+        print(f"{label:34} {a:>10,} {b:>10,}")
+    print(
+        f"\nthe black-box device absorbed "
+        f"{100 * ssd.stats.rmw_fraction:.0f}% of delta commands as "
+        f"read-modify-writes — work the NoFTL host avoided by knowing "
+        f"the mapping.\nBoth still beat a no-IPA device, which would "
+        f"have written {ROUNDS * PAGES:,} full pages."
+    )
+
+
+if __name__ == "__main__":
+    main()

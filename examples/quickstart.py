@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Quickstart: In-Place Appends end to end in ~60 lines.
+
+Builds a small NoFTL flash device, puts a storage engine with a [2x4]
+scheme on top, runs a few hundred tiny balance updates, and shows what
+IPA did to the device: most updates became in-place delta appends, so
+the garbage collector had almost nothing to do.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro.core import NxMScheme, SCHEME_OFF
+from repro.flash import FlashGeometry, FlashMemory
+from repro.ftl import IPAMode, single_region_device
+from repro.storage import Char, Column, EngineConfig, Int32, Int64, Schema, StorageEngine
+
+
+def run(scheme):
+    """One engine run; returns the device statistics."""
+    geometry = FlashGeometry(
+        chips=4, blocks_per_chip=32, pages_per_block=32,
+        page_size=4096, oob_size=128,
+    )
+    device = single_region_device(
+        FlashMemory(geometry), logical_pages=256, ipa_mode=IPAMode.NATIVE,
+    )
+    engine = StorageEngine(device, EngineConfig(buffer_pages=32, scheme=scheme))
+
+    accounts = engine.create_table(
+        "accounts",
+        Schema([
+            Column("id", Int32()),
+            Column("balance", Int64()),
+            Column("owner", Char(60)),
+        ]),
+        key=["id"],
+    )
+
+    txn = engine.begin()
+    for i in range(500):
+        accounts.insert(txn, (i, 1_000, f"customer-{i}"))
+    engine.commit(txn)
+    engine.flush_all()
+
+    # The update-heavy phase: tiny balance changes on *random* accounts
+    # (the TPC-B access pattern).  Pages are flushed every few
+    # transactions, as background cleaners do, so each materialization
+    # carries only one or two small updates — the write pattern the
+    # paper's Table 1 measures.
+    rng = random.Random(42)
+    for count in range(1, 3001):
+        txn = engine.begin()
+        rid = accounts.lookup(rng.randrange(500))
+        balance = accounts.read(rid)[1]
+        accounts.update(txn, rid, {"balance": balance + 1})
+        engine.commit(txn)
+        if count % 20 == 0:
+            engine.flush_all()
+    engine.flush_all()
+
+    total = sum(values[1] for __, values in accounts.scan())
+    assert total == 500 * 1_000 + 3_000, "every increment must be durable"
+    return engine.device.stats, engine.ipa.stats
+
+
+def main():
+    print(f"{'':24} {'no IPA [0x0]':>14} {'IPA [2x4]':>14}")
+    baseline, __ = run(SCHEME_OFF)
+    with_ipa, ipa_stats = run(NxMScheme(2, 4))
+    rows = [
+        ("host write requests", baseline.host_writes, with_ipa.host_writes),
+        ("  as page writes", baseline.host_page_writes, with_ipa.host_page_writes),
+        ("  as in-place appends", baseline.delta_writes, with_ipa.delta_writes),
+        ("GC page migrations", baseline.gc_page_migrations, with_ipa.gc_page_migrations),
+        ("GC erases", baseline.gc_erases, with_ipa.gc_erases),
+        ("bytes shipped to flash",
+         baseline.bytes_page_written,
+         with_ipa.bytes_page_written + with_ipa.bytes_delta_written),
+    ]
+    for label, a, b in rows:
+        print(f"{label:24} {a:>14,} {b:>14,}")
+    print(
+        f"\n{100 * with_ipa.ipa_fraction:.0f}% of update writes became "
+        f"in-place appends; erases dropped "
+        f"{100 * (1 - (with_ipa.gc_erases / baseline.gc_erases) if baseline.gc_erases else 0):.0f}%."
+    )
+
+
+if __name__ == "__main__":
+    main()

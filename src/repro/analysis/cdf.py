@@ -1,0 +1,145 @@
+"""Update-size statistics: percentile tables and CDFs.
+
+These reproduce the paper's workload analyses: Table 1 and Table 11
+(percentile-at-threshold tables) and Figures 7-10 (cumulative
+distributions of changed-bytes-per-update-I/O).
+
+Per Appendix A, the statistics cover **update I/Os only** — appends to
+new pages (1-7% of writes) are excluded — and use net data (tuple
+bytes) for TPC-B/-C but gross data (body + page metadata) for
+LinkBench.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+
+class UpdateSizeCollector:
+    """Flush observer accumulating changed-bytes-per-write samples.
+
+    Attach with ``engine.add_flush_observer(collector)``.  Writes of
+    kind ``"new"`` (first materializations) and ``"skip"`` are excluded;
+    ``"ipa"`` and ``"oop"`` update writes are counted.
+    """
+
+    def __init__(self) -> None:
+        self.net_sizes: list[int] = []
+        self.gross_sizes: list[int] = []
+        self.new_page_writes = 0
+        self.skipped = 0
+
+    def __call__(self, lpn: int, kind: str, net: int, gross: int, overflowed: bool) -> None:
+        if kind == "new":
+            self.new_page_writes += 1
+            return
+        if kind == "skip":
+            self.skipped += 1
+            return
+        self.net_sizes.append(net)
+        self.gross_sizes.append(gross)
+
+    def sizes(self, gross: bool = False) -> list[int]:
+        """Collected per-write sizes: net (tuple bytes) or gross."""
+        return self.gross_sizes if gross else self.net_sizes
+
+    def __len__(self) -> int:
+        return len(self.net_sizes)
+
+
+class PerObjectCollector:
+    """Per-DB-object update-size profiles (paper Section 8.4).
+
+    "In addition, under NoFTL, we can compute these per DB-Object."
+    Attach with ``engine.add_flush_observer(collector)``; flush events
+    are attributed to the table (or index) owning the flushed page via
+    the engine's page-ownership map, and the result feeds
+    :meth:`repro.core.IPAAdvisor.recommend_placement` directly.
+    """
+
+    def __init__(self, engine) -> None:
+        self._engine = engine
+        self.net_by_object: dict[str, list[int]] = {}
+        self.gross_by_object: dict[str, list[int]] = {}
+        self.unattributed = 0
+
+    def __call__(self, lpn: int, kind: str, net: int, gross: int, overflowed: bool) -> None:
+        """Flush-observer entry point."""
+        if kind in ("new", "skip"):
+            return
+        owner = self._engine._page_table.get(lpn)
+        if owner is None:
+            self.unattributed += 1
+            return
+        name = getattr(owner, "name", str(owner))
+        self.net_by_object.setdefault(name, []).append(net)
+        self.gross_by_object.setdefault(name, []).append(gross)
+
+    def objects(self) -> list[str]:
+        """Names of objects that saw update I/Os, busiest first."""
+        return sorted(self.net_by_object, key=lambda n: -len(self.net_by_object[n]))
+
+    def profile(self, gross: bool = False) -> dict[str, list[int]]:
+        """The samples keyed by object, for the placement advisor."""
+        return dict(self.gross_by_object if gross else self.net_by_object)
+
+
+def percentile_at_most(samples: list[int], threshold: int) -> float:
+    """Percent of samples ``<= threshold`` (the paper's Table 1 cells).
+
+    "Update sizes of <= 3 bytes are at the 55th percentile" means 55%
+    of update I/Os changed at most 3 bytes.
+    """
+    if not samples:
+        return 0.0
+    return 100.0 * sum(1 for s in samples if s <= threshold) / len(samples)
+
+
+def percentile_table(samples: list[int], thresholds: list[int]) -> dict[int, float]:
+    """Threshold -> percent-at-most mapping for a percentile table."""
+    return {t: percentile_at_most(samples, t) for t in thresholds}
+
+
+def value_at_percentile(samples: list[int], percent: float) -> int:
+    """Smallest size s.t. at least ``percent``% of samples are <= it."""
+    if not samples:
+        return 0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, int(len(ordered) * percent / 100.0)))
+    return ordered[index]
+
+
+@dataclass
+class CDF:
+    """A cumulative distribution over integer sizes."""
+
+    xs: list[int] = field(default_factory=list)
+    ys: list[float] = field(default_factory=list)  # cumulative percent
+
+    @classmethod
+    def from_samples(cls, samples: list[int]) -> "CDF":
+        if not samples:
+            return cls()
+        ordered = sorted(samples)
+        total = len(ordered)
+        xs: list[int] = []
+        ys: list[float] = []
+        for i, value in enumerate(ordered):
+            if xs and xs[-1] == value:
+                ys[-1] = 100.0 * (i + 1) / total
+            else:
+                xs.append(value)
+                ys.append(100.0 * (i + 1) / total)
+        return cls(xs, ys)
+
+    def at(self, size: int) -> float:
+        """Cumulative percent of updates of at most ``size`` bytes."""
+        if not self.xs:
+            return 0.0
+        index = bisect.bisect_right(self.xs, size)
+        return self.ys[index - 1] if index else 0.0
+
+    def points(self, grid: list[int]) -> list[tuple[int, float]]:
+        """Sample the CDF on a fixed grid (for plotting/figures)."""
+        return [(size, self.at(size)) for size in grid]

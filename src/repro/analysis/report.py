@@ -1,0 +1,75 @@
+"""Plain-text rendering of benchmark tables and figures.
+
+The benchmark harness prints the same rows/series the paper's tables
+and figures report; these helpers keep that output aligned and
+readable in a terminal or a pytest log.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_cell(value) -> str:
+    """Render one table cell: thousands separators, two decimals."""
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    cells = [[format_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in cells)) if cells else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    rule = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(rule)
+    for row in cells:
+        lines.append(" | ".join(value.rjust(w) for value, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_percent(value: float, signed: bool = True) -> str:
+    """Render a relative-change percentage like the paper's tables."""
+    if signed:
+        return f"{value:+.1f}%"
+    return f"{value:.1f}%"
+
+
+def ascii_cdf(series: dict[str, list[tuple[int, float]]], width: int = 60) -> str:
+    """A terminal 'figure': one row per grid point, one column per series.
+
+    Renders the CDF sample grid as a table plus a coarse bar per series,
+    which is enough to eyeball the distribution shapes the paper plots
+    in Figures 7-10.
+    """
+    if not series:
+        return "(no data)"
+    labels = list(series)
+    grid = [x for x, __ in series[labels[0]]]
+    headers = ["<= bytes"] + labels
+    rows = []
+    for index, size in enumerate(grid):
+        row = [size]
+        for label in labels:
+            row.append(series[label][index][1])
+        rows.append(row)
+    table = format_table(headers, rows)
+    bars = []
+    for label in labels:
+        final = series[label][-1][1]
+        filled = int(width * min(final, 100.0) / 100.0)
+        bars.append(f"{label:>12} |{'#' * filled}{'.' * (width - filled)}| {final:.0f}%")
+    return table + "\n" + "\n".join(bars)

@@ -1,0 +1,250 @@
+"""Command-line interface: run IPA experiments without writing code.
+
+Usage (also via ``python -m repro``)::
+
+    python -m repro run --workload tpcb --scheme 2x4 --buffer 0.2
+    python -m repro compare --workload tpcc --scheme 2x3 --buffer 0.5
+    python -m repro advise --workload tpcb --goal longevity
+    python -m repro trace-record --workload tatp --out tatp.trace
+    python -m repro trace-replay tatp.trace --scheme 2x4
+
+``run`` executes one configuration and prints the counters the paper's
+tables report; ``compare`` runs the same workload with and without IPA
+and prints relative changes; ``advise`` profiles the workload and
+prints the advisor's [N x M] recommendations; the ``trace-*`` commands
+implement the Section 8.3 record/replay methodology against the IPL
+baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import UpdateSizeCollector, format_table, relative_change
+from .core import IPAAdvisor, NxMScheme, SCHEME_OFF
+from .errors import ReproError
+from .ftl.region import IPAMode
+from .ipl import IPAReplay, IPLSimulator, replay_events
+from .testbed import build_engine, emulator_device, load_scaled, openssd_device
+from .workloads import (
+    LinkBench,
+    TATP,
+    TPCB,
+    TPCC,
+    TraceRecorder,
+    load_trace,
+    save_trace,
+)
+
+WORKLOADS = {
+    "tpcb": (TPCB, 1000, 1_500_000),
+    "tpcc": (TPCC, 2600, 8_000_000),
+    "tatp": (TATP, 1600, 400_000),
+    "linkbench": (LinkBench, 1800, 600_000),
+}
+
+
+def parse_scheme(text: str) -> NxMScheme:
+    """Parse '2x4' or '2x4x12' (N x M [x V]) or 'off'."""
+    if text.lower() in ("off", "0x0"):
+        return SCHEME_OFF
+    parts = text.lower().split("x")
+    if len(parts) == 2:
+        return NxMScheme(int(parts[0]), int(parts[1]))
+    if len(parts) == 3:
+        return NxMScheme(int(parts[0]), int(parts[1]), int(parts[2]))
+    raise argparse.ArgumentTypeError(f"bad scheme {text!r}; use e.g. 2x4 or 2x3x12")
+
+
+def _build(args, scheme, record_trace=False):
+    workload_cls, logical_pages, log_capacity = WORKLOADS[args.workload]
+    if args.platform == "openssd":
+        mode = IPAMode.PSLC if args.mode == "pslc" else IPAMode.ODD_MLC
+        device = openssd_device(logical_pages, mode=mode)
+    else:
+        device = emulator_device(logical_pages)
+    engine = build_engine(
+        device, scheme=scheme, buffer_pages=logical_pages,
+        eviction=args.eviction, log_capacity_bytes=log_capacity,
+    )
+    collector = UpdateSizeCollector()
+    engine.add_flush_observer(collector)
+    recorder = TraceRecorder()
+    if record_trace:
+        recorder.attach(engine)
+    driver = load_scaled(engine, workload_cls(), args.buffer, seed=args.seed)
+    collector.net_sizes.clear()
+    collector.gross_sizes.clear()
+    recorder.events.clear()
+    return engine, driver, collector, recorder
+
+
+def _run_rows(result):
+    """The metric rows every run/compare command prints."""
+    device = result.device
+    return [
+        ["throughput [tps]", result.throughput_tps],
+        ["host reads", device["host_reads"]],
+        ["host writes", device["host_writes"]],
+        ["in-place appends", device["delta_writes"]],
+        ["IPA fraction [%]", 100 * device["ipa_fraction"]],
+        ["GC page migrations", device["gc_page_migrations"]],
+        ["GC erases", device["gc_erases"]],
+        ["erases/host write", device["erases_per_host_write"]],
+        ["mean read I/O [us]", device["mean_read_latency_us"]],
+        ["mean write I/O [us]", device["mean_write_latency_us"]],
+    ]
+
+
+def cmd_run(args) -> int:
+    """``repro run``: one configuration, one stats table."""
+    engine, driver, __, __ = _build(args, args.scheme)
+    result = driver.run(args.txns)
+    print(format_table(
+        ["metric", "value"], _run_rows(result),
+        title=(f"{args.workload} on {args.platform}, scheme {args.scheme}, "
+               f"buffer {args.buffer:.0%}, {args.eviction} eviction"),
+    ))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """``repro compare``: [0x0] vs a scheme, with relative changes."""
+    rows = []
+    results = {}
+    for label, scheme in (("base", SCHEME_OFF), ("ipa", args.scheme)):
+        engine, driver, __, __ = _build(args, scheme)
+        results[label] = driver.run(args.txns)
+    base_rows = _run_rows(results["base"])
+    ipa_rows = _run_rows(results["ipa"])
+    for (name, base), (__, ipa) in zip(base_rows, ipa_rows):
+        rows.append([name, base, ipa, relative_change(base, ipa)])
+    print(format_table(
+        ["metric", "[0x0]", f"{args.scheme}", "change %"], rows,
+        title=f"{args.workload}: no IPA vs {args.scheme} "
+              f"(buffer {args.buffer:.0%})",
+    ))
+    return 0
+
+
+def cmd_advise(args) -> int:
+    """``repro advise``: profile the workload, print recommendations."""
+    args.scheme = SCHEME_OFF
+    engine, driver, collector, __ = _build(args, SCHEME_OFF)
+    driver.run(args.txns)
+    advisor = IPAAdvisor.from_collector(
+        collector, cell_type=engine.device.flash.geometry.cell_type,
+        page_size=engine.page_size,
+    )
+    print(f"profiled {len(collector)} update I/Os of {args.workload}")
+    for goal, rec in advisor.recommend_all(space_budget=args.space_budget).items():
+        print(f"  {goal:10} -> {rec}")
+    return 0
+
+
+def cmd_trace_record(args) -> int:
+    """``repro trace-record``: run a workload, save its I/O trace."""
+    workload_cls, __, __ = WORKLOADS[args.workload]
+    scheme = args.scheme
+    engine, driver, __, recorder = _build(args, scheme, record_trace=True)
+    driver.run(args.txns)
+    count = save_trace(recorder.events, args.out)
+    print(f"recorded {count} events ({recorder.fetches} fetches, "
+          f"{recorder.writes} writes) to {args.out}")
+    return 0
+
+
+def cmd_trace_replay(args) -> int:
+    """``repro trace-replay``: IPA-vs-IPL comparison on a saved trace."""
+    events = load_trace(args.trace)
+    writes = [event for event in events if event.op == "write"]
+    if not writes:
+        print("trace holds no writes", file=sys.stderr)
+        return 1
+    max_lpn = max(event.lpn for event in events)
+    ipl = IPLSimulator()
+    replay_events(events, ipl)
+    ipa = IPAReplay(max_lpn + 1, args.scheme, overprovisioning=args.op)
+    replay_events(events, ipa)
+    ipa_summary, ipl_summary = ipa.summary(), ipl.summary()
+    rows = [
+        ["write amplification", ipa_summary["write_amplification"],
+         ipl_summary["write_amplification"]],
+        ["read amplification", ipa_summary["read_amplification"],
+         ipl_summary["read_amplification"]],
+        ["erases", ipa_summary["erases"], ipl_summary["erases"]],
+        ["space reserved [%]", 100 * ipa_summary["space_reserved"],
+         100 * ipl_summary["space_reserved"]],
+    ]
+    print(format_table(
+        ["metric", f"IPA {args.scheme}", "IPL"], rows,
+        title=f"trace replay: {len(events)} events from {args.trace}",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser (see module docstring)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="In-Place Appends on flash: experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, txns_default=5000):
+        p.add_argument("--workload", choices=sorted(WORKLOADS), default="tpcb")
+        p.add_argument("--buffer", type=float, default=0.20,
+                       help="buffer size as a fraction of the loaded DB")
+        p.add_argument("--txns", type=int, default=txns_default)
+        p.add_argument("--eviction", choices=("eager", "non-eager"), default="eager")
+        p.add_argument("--platform", choices=("emulator", "openssd"),
+                       default="emulator")
+        p.add_argument("--mode", choices=("pslc", "odd-mlc"), default="odd-mlc",
+                       help="IPA mode for the openssd platform")
+        p.add_argument("--seed", type=int, default=7)
+
+    p = sub.add_parser("run", help="run one configuration")
+    common(p)
+    p.add_argument("--scheme", type=parse_scheme, default=NxMScheme(2, 4))
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("compare", help="run [0x0] vs a scheme")
+    common(p)
+    p.add_argument("--scheme", type=parse_scheme, default=NxMScheme(2, 4))
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("advise", help="profile a workload, recommend schemes")
+    common(p)
+    p.add_argument("--goal", default="balanced")
+    p.add_argument("--space-budget", type=float, default=0.05)
+    p.set_defaults(func=cmd_advise)
+
+    p = sub.add_parser("trace-record", help="record a buffer-level I/O trace")
+    common(p)
+    p.add_argument("--scheme", type=parse_scheme, default=NxMScheme(2, 4))
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=cmd_trace_record)
+
+    p = sub.add_parser("trace-replay", help="replay a trace: IPA vs IPL")
+    p.add_argument("trace")
+    p.add_argument("--scheme", type=parse_scheme, default=NxMScheme(2, 4))
+    p.add_argument("--op", type=float, default=0.40,
+                   help="over-provisioning of the IPA replay device")
+    p.set_defaults(func=cmd_trace_replay)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""In-Place Appends: the paper's core contribution.
+
+The [N x M] scheme, delta-record encoding, the flush/fetch manager that
+turns small in-place updates into physical in-place appends, and the
+IPA advisor that picks scheme parameters from a workload profile.
+"""
+
+from .advisor import GOAL_COVERAGE, IPAAdvisor, Recommendation
+from .decisions import DecisionCounts, scheme_decisions
+from .delta import apply_pairs, decode_area, decode_record, encode_record, split_pairs
+from .manager import IPAManager
+from .scheme import CTRL_ABSENT, CTRL_PRESENT, PAIR_SIZE, NxMScheme, SCHEME_OFF
+from .stats import IPAStats
+
+__all__ = [
+    "DecisionCounts",
+    "scheme_decisions",
+    "GOAL_COVERAGE",
+    "IPAAdvisor",
+    "Recommendation",
+    "apply_pairs",
+    "decode_area",
+    "decode_record",
+    "encode_record",
+    "split_pairs",
+    "IPAManager",
+    "CTRL_ABSENT",
+    "CTRL_PRESENT",
+    "PAIR_SIZE",
+    "NxMScheme",
+    "SCHEME_OFF",
+    "IPAStats",
+]

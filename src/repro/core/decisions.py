@@ -1,0 +1,80 @@
+"""Pure [N x M] decision replay over recorded I/O traces.
+
+Given a buffer-level trace (fetch / write events with per-write net and
+gross changed-byte counts), replay the Section 6.2 flush decision for
+any scheme without re-running the engine.  The sensitivity analyses
+(paper Tables 3-5, Figure 6) evaluate dozens of schemes against the
+same recorded workload this way — exactly how the paper's own
+sensitivity tables were produced from recorded traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..workloads.trace import TraceEvent
+from .scheme import NxMScheme
+
+
+@dataclass
+class DecisionCounts:
+    """Outcome of replaying scheme decisions over a trace."""
+
+    ipa: int = 0
+    oop: int = 0
+    new_pages: int = 0
+    delta_bytes: int = 0
+    records: int = 0
+    net_bytes: int = 0
+
+    @property
+    def update_writes(self) -> int:
+        """Update I/Os (excludes first materializations, like Appendix A)."""
+        return self.ipa + self.oop
+
+    @property
+    def ipa_fraction(self) -> float:
+        return self.ipa / self.update_writes if self.update_writes else 0.0
+
+    def gross_written_bytes(self, page_size: int) -> int:
+        """DBMS write volume under this scheme (pages + delta payloads)."""
+        return (self.oop + self.new_pages) * page_size + self.delta_bytes
+
+    def wa_reduction(self, page_size: int) -> float:
+        """DB write-amplification reduction versus [0x0] on this trace.
+
+        The baseline ships one page per write of the same stream, so
+        the net changed bytes cancel out of the ratio (Tables 4/5).
+        """
+        gross = self.gross_written_bytes(page_size)
+        if gross == 0:
+            return 0.0
+        return (self.update_writes + self.new_pages) * page_size / gross
+
+
+def scheme_decisions(events: Iterable[TraceEvent], scheme: NxMScheme) -> DecisionCounts:
+    """Replay the paper's Section 6.2 flush decision over a trace."""
+    counts = DecisionCounts()
+    slots: dict[int, int] = {}
+    for event in events:
+        if event.op != "write":
+            continue
+        if event.kind == "new":
+            counts.new_pages += 1
+            slots[event.lpn] = 0
+            continue
+        net = event.net
+        meta = max(0, event.gross - event.net)
+        counts.net_bytes += event.gross
+        used = slots.get(event.lpn, 0)
+        if scheme.enabled and net + meta > 0 and scheme.fits(net, meta, used):
+            needed = scheme.records_needed(net, meta)
+            counts.ipa += 1
+            counts.records += needed
+            counts.delta_bytes += needed * scheme.record_size
+            slots[event.lpn] = used + needed
+        else:
+            counts.oop += 1
+            slots[event.lpn] = 0
+    return counts

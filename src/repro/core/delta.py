@@ -1,0 +1,128 @@
+"""Delta-record encoding and decoding (paper Section 6.1, Figure 4).
+
+A delta record is::
+
+    +------+----------------------+----------------------+
+    | ctrl | M body pairs         | V metadata pairs     |
+    +------+----------------------+----------------------+
+
+with each pair ``<new_value (1B), offset (2B big-endian)>`` naming one
+modified byte of the database page.  Unused pair slots are left as
+``0xFF 0xFF 0xFF`` — erased cells, which also makes the padding free to
+program (programming ``0xFF`` leaves cells untouched).
+
+An offset of ``0xFFFF`` marks a padding pair.  This is unambiguous:
+the delta area lives at the very end of the page, so byte 65535 (the
+only data byte a real ``0xFFFF`` could name on a 64 KiB page) is always
+inside the delta area itself and never tracked.
+"""
+
+from __future__ import annotations
+
+from ..errors import DeltaFormatError
+from .scheme import CTRL_ABSENT, CTRL_PRESENT, PAIR_SIZE, NxMScheme
+
+#: A modified byte: (page offset, new value).
+Pair = tuple[int, int]
+
+_PADDING_OFFSET = 0xFFFF
+
+
+def encode_record(scheme: NxMScheme, body_pairs: list[Pair], meta_pairs: list[Pair]) -> bytes:
+    """Encode one delta record; pads unused pair slots with erased bytes.
+
+    ``body_pairs`` fill the first M pair slots, ``meta_pairs`` the last
+    V; exceeding either budget raises :class:`DeltaFormatError` (the
+    caller splits changes across records before encoding).
+    """
+    if len(body_pairs) > scheme.m:
+        raise DeltaFormatError(
+            f"{len(body_pairs)} body pairs exceed M={scheme.m}"
+        )
+    if len(meta_pairs) > scheme.v:
+        raise DeltaFormatError(
+            f"{len(meta_pairs)} metadata pairs exceed V={scheme.v}"
+        )
+    out = bytearray([CTRL_PRESENT])
+    for slots, pairs in ((scheme.m, body_pairs), (scheme.v, meta_pairs)):
+        for offset, value in pairs:
+            if not 0 <= offset < _PADDING_OFFSET:
+                raise DeltaFormatError(f"pair offset {offset} out of range")
+            if not 0 <= value <= 0xFF:
+                raise DeltaFormatError(f"pair value {value} is not a byte")
+            out.append(value)
+            out += offset.to_bytes(2, "big")
+        out += b"\xff" * (PAIR_SIZE * (slots - len(pairs)))
+    return bytes(out)
+
+
+def decode_record(scheme: NxMScheme, record: bytes) -> list[Pair] | None:
+    """Decode one delta-record slot.
+
+    Returns the ``(offset, value)`` pairs in encoding order, or ``None``
+    when the slot is still erased (control byte ``0xFF``).
+    """
+    if len(record) != scheme.record_size:
+        raise DeltaFormatError(
+            f"slot of {len(record)} bytes; scheme {scheme} records are "
+            f"{scheme.record_size} bytes"
+        )
+    ctrl = record[0]
+    if ctrl == CTRL_ABSENT:
+        return None
+    if ctrl != CTRL_PRESENT:
+        raise DeltaFormatError(f"unrecognized control byte 0x{ctrl:02x}")
+    pairs: list[Pair] = []
+    for base in range(1, len(record), PAIR_SIZE):
+        value = record[base]
+        offset = int.from_bytes(record[base + 1 : base + 3], "big")
+        if offset == _PADDING_OFFSET:
+            continue
+        pairs.append((offset, value))
+    return pairs
+
+
+def split_pairs(scheme: NxMScheme, body_pairs: list[Pair], meta_pairs: list[Pair]) -> list[bytes]:
+    """Encode tracked changes into as many delta records as needed.
+
+    Body pairs are distributed M per record and metadata pairs V per
+    record; the caller has already verified the result fits into the
+    page's remaining slots via :meth:`NxMScheme.fits`.
+    """
+    records_needed = scheme.records_needed(len(body_pairs), len(meta_pairs))
+    records = []
+    for index in range(records_needed):
+        body_chunk = body_pairs[index * scheme.m : (index + 1) * scheme.m]
+        meta_chunk = meta_pairs[index * scheme.v : (index + 1) * scheme.v]
+        records.append(encode_record(scheme, body_chunk, meta_chunk))
+    return records
+
+
+def decode_area(scheme: NxMScheme, page_image: bytes, page_size: int) -> tuple[list[Pair], int]:
+    """Decode every programmed delta record of a raw flash page image.
+
+    Returns ``(pairs_in_forward_order, slots_used)``.  Records are
+    applied oldest first, so later appends win on overlapping offsets —
+    the paper's forward-order replay (Section 6.2).
+    """
+    if not scheme.enabled:
+        return [], 0
+    pairs: list[Pair] = []
+    slots_used = 0
+    area_start = scheme.area_offset(page_size)
+    for index in range(scheme.n):
+        start = area_start + index * scheme.record_size
+        record = decode_record(scheme, bytes(page_image[start : start + scheme.record_size]))
+        if record is None:
+            break
+        pairs.extend(record)
+        slots_used = index + 1
+    return pairs, slots_used
+
+
+def apply_pairs(image: bytearray, pairs: list[Pair]) -> None:
+    """Replay delta pairs onto a page image in forward order."""
+    for offset, value in pairs:
+        if offset >= len(image):
+            raise DeltaFormatError(f"delta offset {offset} outside page")
+        image[offset] = value

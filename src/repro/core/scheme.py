@@ -1,0 +1,118 @@
+"""The [N x M] scheme: sizing and placement of the delta-record area.
+
+Section 6 of the paper: a database page may absorb up to **N**
+subsequent In-Place Appends (delta records), each covering at most
+**M** modified bytes of tuple data plus at most **V** modified bytes of
+page metadata (header, slot table, PageLSN).  Each modified byte costs
+a 3-byte ``<new_value, offset>`` pair (1 value byte + 2 offset bytes),
+plus one control byte per record:
+
+    delta_record_size = 1 + 3*M + 3*V
+    delta_area_size   = N * delta_record_size
+
+The delta-record area sits at the very end of the database page so its
+flash cells stay erased until a record is appended.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SchemeError
+
+#: Bytes of one <new_value, offset> pair: 1 value byte + 2 offset bytes.
+PAIR_SIZE = 3
+
+#: Control byte value marking a present (programmed) delta record.
+CTRL_PRESENT = 0x00
+
+#: Control byte value of an absent record (erased cells).
+CTRL_ABSENT = 0xFF
+
+
+@dataclass(frozen=True)
+class NxMScheme:
+    """One [N x M] configuration with its metadata budget V.
+
+    ``n = 0`` (the paper's ``[0 x 0]`` columns) disables IPA entirely:
+    no space is reserved and every flush is an out-of-place write.
+    """
+
+    n: int
+    m: int
+    v: int = 12
+
+    def __post_init__(self) -> None:
+        if self.n < 0 or self.m < 0 or self.v < 0:
+            raise SchemeError("scheme parameters must be non-negative")
+        if self.n > 0 and self.m == 0:
+            raise SchemeError("M must be positive when N > 0")
+        if self.n == 0 and self.m != 0:
+            raise SchemeError("[0 x M] is meaningless; use [0 x 0]")
+
+    @property
+    def enabled(self) -> bool:
+        return self.n > 0
+
+    @property
+    def record_size(self) -> int:
+        """Bytes of one delta record: control byte + M body + V meta pairs."""
+        if not self.enabled:
+            return 0
+        return 1 + PAIR_SIZE * (self.m + self.v)
+
+    @property
+    def area_size(self) -> int:
+        """Bytes reserved at the end of each database page."""
+        return self.n * self.record_size
+
+    def space_overhead(self, page_size: int) -> float:
+        """Fraction of the page consumed by the delta-record area."""
+        return self.area_size / page_size
+
+    def area_offset(self, page_size: int) -> int:
+        """Start offset of the delta-record area within the page."""
+        if self.area_size >= page_size:
+            raise SchemeError(
+                f"[{self.n}x{self.m}] area of {self.area_size}B does not fit a "
+                f"{page_size}B page"
+            )
+        return page_size - self.area_size
+
+    def slot_offset(self, index: int, page_size: int) -> int:
+        """Start offset of delta-record slot ``index`` (0-based)."""
+        if not 0 <= index < self.n:
+            raise SchemeError(f"delta slot {index} outside [0, {self.n})")
+        return self.area_offset(page_size) + index * self.record_size
+
+    def records_needed(self, body_bytes: int, meta_bytes: int) -> int:
+        """Delta records required for the given tracked change volume."""
+        if body_bytes == 0 and meta_bytes == 0:
+            return 0
+        need_body = -(-body_bytes // self.m) if self.m else 0
+        need_meta = -(-meta_bytes // self.v) if self.v else (1 if meta_bytes else 0)
+        if self.v == 0 and meta_bytes > 0:
+            return self.n + 1  # cannot host metadata changes: force overflow
+        return max(need_body, need_meta, 1)
+
+    def fits(self, body_bytes: int, meta_bytes: int, slots_used: int) -> bool:
+        """Whether tracked changes still fit in the remaining slots.
+
+        This is the paper's Section 6.2 accounting: a freshly fetched
+        page carries ``slots_used`` records from earlier evictions; at
+        most ``(N - slots_used) * M`` body bytes (and ``* V`` metadata
+        bytes) may still be absorbed.
+        """
+        if not self.enabled:
+            return False
+        remaining = self.n - slots_used
+        if remaining <= 0:
+            return body_bytes == 0 and meta_bytes == 0
+        return self.records_needed(body_bytes, meta_bytes) <= remaining
+
+    def __str__(self) -> str:
+        return f"[{self.n}x{self.m}]"
+
+
+#: The paper's baseline: no IPA, conventional out-of-place writes.
+SCHEME_OFF = NxMScheme(0, 0, 0)

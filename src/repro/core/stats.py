@@ -1,0 +1,50 @@
+"""Counters kept by the IPA manager."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class IPAStats:
+    """Flush-path outcomes of one engine run."""
+
+    #: Flushes materialized as In-Place Appends (one write_delta each).
+    ipa_flushes: int = 0
+    #: Flushes written out-of-place (full page writes).
+    oop_flushes: int = 0
+    #: Dirty flushes whose tracked diff was empty: no I/O at all.
+    skipped_flushes: int = 0
+    #: Delta records written across all IPA flushes.
+    delta_records_written: int = 0
+    #: Payload bytes of all delta records (including padding pairs).
+    delta_bytes_written: int = 0
+    #: IPA attempts rejected by the device (e.g. MSB residency under
+    #: odd-MLC) that fell back to an out-of-place write.
+    device_fallbacks: int = 0
+    #: Flushes that went out-of-place because the tracked changes
+    #: overflowed the [N x M] budget.
+    budget_overflows: int = 0
+    #: Bits corrected by ECC during loads (only with ECC enabled).
+    ecc_corrected_bits: int = 0
+
+    @property
+    def flushes(self) -> int:
+        return self.ipa_flushes + self.oop_flushes + self.skipped_flushes
+
+    @property
+    def ipa_fraction(self) -> float:
+        """Fraction of update I/Os performed as In-Place Appends.
+
+        The denominator excludes skipped flushes — those never reach
+        the device, matching the paper's "Out-of-Place Writes vs.
+        In-Place Appends" rows, which split actual write requests.
+        """
+        writes = self.ipa_flushes + self.oop_flushes
+        return self.ipa_flushes / writes if writes else 0.0
+
+    def snapshot(self) -> dict:
+        """Plain-dict copy including the derived IPA fraction."""
+        data = dict(self.__dict__)
+        data["ipa_fraction"] = self.ipa_fraction
+        return data

@@ -1,0 +1,108 @@
+"""Exception hierarchy shared across the ``repro`` packages.
+
+Every layer of the stack (flash array, NoFTL, storage engine, IPA core)
+raises exceptions rooted at :class:`ReproError` so callers can catch the
+whole family or a precise sub-class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class FlashError(ReproError):
+    """Base class for errors raised by the NAND flash simulator."""
+
+
+class ProgramError(FlashError):
+    """A program operation violated the ISPP charge-increase rule.
+
+    Raised when a program would require clearing charge from a cell
+    (a 0 -> 1 bit transition), which physically requires a block erase.
+    """
+
+
+class EraseError(FlashError):
+    """An erase operation was rejected (bad address, worn-out block)."""
+
+
+class WearOutError(FlashError):
+    """A block exceeded its program/erase endurance limit."""
+
+
+class ProgramOrderError(FlashError):
+    """Pages within a block must be programmed in increasing order."""
+
+
+class UncorrectableError(FlashError):
+    """ECC could not correct the bit errors found in a page region."""
+
+
+class AddressError(FlashError):
+    """A physical or logical address is out of range."""
+
+
+class FTLError(ReproError):
+    """Base class for errors raised by the NoFTL / FTL layer."""
+
+
+class OutOfSpaceError(FTLError):
+    """The device ran out of erased pages even after garbage collection."""
+
+
+class MappingError(FTLError):
+    """A logical page has no valid mapping (read of never-written page)."""
+
+
+class RegionError(FTLError):
+    """Invalid NoFTL region configuration or placement request."""
+
+
+class DeltaWriteError(FTLError):
+    """A ``write_delta`` request could not be applied in place."""
+
+
+class StorageError(ReproError):
+    """Base class for errors raised by the storage engine."""
+
+
+class PageFormatError(StorageError):
+    """A database page image is malformed or too small for the request."""
+
+
+class PageFullError(StorageError):
+    """A record does not fit into the free space of a slotted page."""
+
+
+class RecordNotFoundError(StorageError):
+    """A record id does not reference a live record."""
+
+
+class TransactionError(StorageError):
+    """Illegal transaction state transition (e.g. commit after abort)."""
+
+
+class BufferError_(StorageError):
+    """Buffer pool misuse: no evictable frame, unpin of unpinned page."""
+
+
+class SchemaError(StorageError):
+    """A value does not match the column type or schema definition."""
+
+
+class IPAError(ReproError):
+    """Base class for errors raised by the In-Place Appends core."""
+
+
+class SchemeError(IPAError):
+    """Invalid [N x M] scheme parameters."""
+
+
+class DeltaFormatError(IPAError):
+    """A delta-record region on flash could not be decoded."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload configuration or trace."""

@@ -1,0 +1,51 @@
+"""A flash chip (die): a set of blocks with a single command pipeline."""
+
+from __future__ import annotations
+
+from .block import FlashBlock
+from .constants import CellType
+from .geometry import FlashGeometry
+
+
+class FlashChip:
+    """One die of the array.
+
+    A chip executes one flash command at a time; :attr:`busy_until`
+    carries the simulated time (microseconds) at which the chip becomes
+    free again, which is how the latency model expresses intra-chip
+    serialization and inter-chip parallelism.
+    """
+
+    __slots__ = ("blocks", "busy_until")
+
+    def __init__(self, geometry: FlashGeometry, endurance: int | None = None) -> None:
+        self.blocks = [
+            FlashBlock(
+                geometry.pages_per_block,
+                geometry.page_size,
+                geometry.oob_size,
+                cell_type=geometry.cell_type,
+                endurance=endurance,
+            )
+            for _ in range(geometry.blocks_per_chip)
+        ]
+        self.busy_until = 0.0
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def cell_type(self) -> CellType:
+        return self.blocks[0].cell_type
+
+    def total_erases(self) -> int:
+        """Sum of erase counts over the chip's blocks."""
+        return sum(block.erase_count for block in self.blocks)
+
+    def max_erase_count(self) -> int:
+        """Most-worn block's erase count."""
+        return max(block.erase_count for block in self.blocks)
+
+    def min_erase_count(self) -> int:
+        """Least-worn block's erase count."""
+        return min(block.erase_count for block in self.blocks)

@@ -1,0 +1,75 @@
+"""Physical constants of simulated NAND flash.
+
+Latencies and endurance limits follow the values commonly cited in the
+NAND literature the paper builds on (Suh et al. ISSCC'95, Micheloni et
+al. "Inside NAND Flash Memories", Agrawal et al. USENIX ATC'08) and the
+figures quoted in the paper itself (Section 8: 100k P/E cycles for SLC,
+10k for MLC, 4k for TLC).
+
+All times are in **microseconds**; the simulator's clock is a float of
+microseconds throughout the stack.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class CellType(Enum):
+    """NAND cell technology: bits stored per physical cell."""
+
+    SLC = 1
+    MLC = 2
+    TLC = 3
+
+
+class PageKind(Enum):
+    """Position of a page on its wordline.
+
+    On MLC flash every wordline carries an LSB ("odd") page and an MSB
+    ("even") page; programming the MSB page is much slower and ISPP
+    re-programming of MSB pages is unsafe (see Appendix C of the paper).
+    SLC flash only has LSB pages.
+    """
+
+    LSB = "lsb"
+    MSB = "msb"
+
+
+#: Program/erase endurance per cell technology (Section 8 of the paper).
+ENDURANCE_CYCLES = {
+    CellType.SLC: 100_000,
+    CellType.MLC: 10_000,
+    CellType.TLC: 4_000,
+}
+
+#: Page read latency in microseconds, per cell type and page kind.
+READ_LATENCY_US = {
+    (CellType.SLC, PageKind.LSB): 25.0,
+    (CellType.MLC, PageKind.LSB): 40.0,
+    (CellType.MLC, PageKind.MSB): 75.0,
+    (CellType.TLC, PageKind.LSB): 60.0,
+    (CellType.TLC, PageKind.MSB): 110.0,
+}
+
+#: Full-page program latency in microseconds, per cell type and page kind.
+PROGRAM_LATENCY_US = {
+    (CellType.SLC, PageKind.LSB): 200.0,
+    (CellType.MLC, PageKind.LSB): 400.0,
+    (CellType.MLC, PageKind.MSB): 1300.0,
+    (CellType.TLC, PageKind.LSB): 600.0,
+    (CellType.TLC, PageKind.MSB): 2200.0,
+}
+
+#: Block erase latency in microseconds.
+ERASE_LATENCY_US = {
+    CellType.SLC: 1500.0,
+    CellType.MLC: 3000.0,
+    CellType.TLC: 3500.0,
+}
+
+#: Bus transfer time per KiB moved between controller and flash chip.
+TRANSFER_US_PER_KIB = 10.0
+
+#: The erased state of every byte of a flash page (all cells uncharged).
+ERASED_BYTE = 0xFF

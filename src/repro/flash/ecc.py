@@ -1,0 +1,135 @@
+"""Error-correcting codes for flash page regions.
+
+Real SLC-era NAND controllers used a single-error-correcting Hamming
+code per 512-byte sector; that is what this module implements (not a
+stand-in).  The code for a region is the XOR of the bit positions of
+all set bits plus an overall parity bit, which corrects any single
+flipped bit and detects (but cannot correct) double flips.
+
+IPA needs *segmented* ECC (Section 6.2 "Flash ECC and Page OOB Area"):
+one code for the initially-programmed page body and one per appended
+delta record, each programmed into the OOB area with ISPP just like the
+data appends.  :class:`SegmentedEcc` packages that layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import UncorrectableError
+
+#: XOR of set-bit indices (0-7) for every byte value.
+_BIT_XOR = [0] * 256
+#: Parity (popcount mod 2) for every byte value.
+_PARITY = [0] * 256
+for _v in range(256):
+    _x = 0
+    _p = 0
+    for _j in range(8):
+        if _v >> _j & 1:
+            _x ^= _j
+            _p ^= 1
+    _BIT_XOR[_v] = _x
+    _PARITY[_v] = _p
+
+
+#: Bytes one encoded code occupies (3 position-XOR bytes + 1 parity byte).
+CODE_SIZE = 4
+
+
+def compute_code(data: bytes) -> bytes:
+    """Hamming-style code of ``data``: position-XOR (24 bits) + parity.
+
+    24 position bits support regions up to 2 MiB, far beyond any flash
+    page; the fixed size keeps OOB layout simple.
+    """
+    acc = 0
+    parity = 0
+    for i, value in enumerate(data):
+        if value:
+            if _PARITY[value]:
+                acc ^= i << 3
+                parity ^= 1
+            acc ^= _BIT_XOR[value]
+    return acc.to_bytes(3, "big") + bytes([parity])
+
+
+def correct(data: bytearray, code: bytes) -> int:
+    """Verify ``data`` against ``code``; correct in place if possible.
+
+    Returns the number of corrected bits (0 or 1).  Raises
+    :class:`UncorrectableError` when the error pattern exceeds the
+    single-bit correction capability.
+    """
+    if len(code) != CODE_SIZE:
+        raise UncorrectableError(f"bad code size {len(code)}")
+    stored_acc = int.from_bytes(code[:3], "big")
+    stored_parity = code[3] & 1
+    fresh = compute_code(bytes(data))
+    acc = int.from_bytes(fresh[:3], "big")
+    parity = fresh[3] & 1
+    syndrome = stored_acc ^ acc
+    parity_diff = stored_parity ^ parity
+    if syndrome == 0 and parity_diff == 0:
+        return 0
+    if parity_diff == 1:
+        # Odd number of flips: a single-bit error at position `syndrome`.
+        byte_index, bit_index = divmod(syndrome, 8)
+        if byte_index >= len(data):
+            raise UncorrectableError("error position outside region")
+        data[byte_index] ^= 1 << bit_index
+        return 1
+    # Even flip count with a nonzero syndrome: at least two errors.
+    raise UncorrectableError("double-bit error detected in region")
+
+
+@dataclass(frozen=True)
+class EccSegment:
+    """One independently protected region of a page: ``[offset, offset+length)``."""
+
+    offset: int
+    length: int
+
+
+class SegmentedEcc:
+    """Per-segment ECC layout over a flash page's OOB area.
+
+    Segment ``i``'s code lives at OOB offset ``i * CODE_SIZE``.  The
+    caller defines the segments (page body + each delta-record slot) and
+    is responsible for only encoding a segment once its content is
+    final — appending a code is itself an ISPP program of erased OOB
+    cells.
+    """
+
+    def __init__(self, segments: list[EccSegment], oob_size: int) -> None:
+        needed = len(segments) * CODE_SIZE
+        if needed > oob_size:
+            raise UncorrectableError(
+                f"{len(segments)} ECC segments need {needed} OOB bytes, "
+                f"only {oob_size} available"
+            )
+        self.segments = list(segments)
+
+    def oob_offset(self, segment_index: int) -> int:
+        """OOB byte offset where a segment's code is stored."""
+        return segment_index * CODE_SIZE
+
+    def encode_segment(self, segment_index: int, page_data: bytes) -> bytes:
+        """Code bytes for one segment of the given page image."""
+        seg = self.segments[segment_index]
+        return compute_code(page_data[seg.offset : seg.offset + seg.length])
+
+    def verify(self, page_data: bytearray, oob: bytes, programmed_segments: int) -> int:
+        """Check and correct the first ``programmed_segments`` segments.
+
+        Returns the total number of corrected bits; raises
+        :class:`UncorrectableError` on an unrecoverable segment.
+        """
+        corrected = 0
+        for index in range(programmed_segments):
+            seg = self.segments[index]
+            code = oob[self.oob_offset(index) : self.oob_offset(index) + CODE_SIZE]
+            region = bytearray(page_data[seg.offset : seg.offset + seg.length])
+            corrected += correct(region, code)
+            page_data[seg.offset : seg.offset + seg.length] = region
+        return corrected

@@ -1,0 +1,112 @@
+"""Fault injection: retention leakage and program interference.
+
+Two physical error mechanisms matter for IPA (paper Sections 2.3 and
+Appendix C):
+
+* **Retention errors** — charge leaks from floating gates over time, so
+  programmed cells (bit 0) may drift back towards the erased state
+  (bit 1).  "Correct-and-Refresh" (Cai et al.) fixes these by ECC-
+  correcting a page and ISPP re-programming it in place — the same
+  physical trick IPA uses for appends.
+* **Program interference** — ISPP pulses on one wordline capacitively
+  couple into neighbouring wordlines.  Crucially the coupling affects
+  only the *bitlines being driven*, i.e. the same byte offsets as the
+  region being programmed.  That is why a delta append disturbs only
+  the delta-record areas of neighbouring pages (which on LSB neighbours
+  is harmless and on MSB neighbours is ignored, because IPA never
+  appends to MSB pages).
+
+The injector is deterministic given its seed so tests and experiments
+are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .block import FlashBlock
+from .page import FlashPage
+
+
+class FaultInjector:
+    """Injects bit errors into flash pages.
+
+    Parameters
+    ----------
+    retention_rate:
+        Per-bit probability that a *programmed* (0) bit leaks back to 1
+        during one :meth:`age` pass.
+    interference_rate:
+        Probability that one delta-append program disturbs a neighbour
+        wordline: a random erased (1) bit inside the programmed byte
+        range of the neighbour flips to 0.
+    seed:
+        RNG seed for reproducibility.
+    """
+
+    def __init__(
+        self,
+        retention_rate: float = 0.0,
+        interference_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= retention_rate <= 1.0:
+            raise ValueError("retention_rate must be in [0, 1]")
+        if not 0.0 <= interference_rate <= 1.0:
+            raise ValueError("interference_rate must be in [0, 1]")
+        self.retention_rate = retention_rate
+        self.interference_rate = interference_rate
+        self._rng = random.Random(seed)
+        self.retention_flips = 0
+        self.interference_flips = 0
+
+    def age(self, page: FlashPage) -> int:
+        """Apply one retention pass to a page; returns bits flipped 0->1.
+
+        The expected flip count is ``retention_rate * programmed_zero_bits``;
+        for efficiency we draw the count from the RNG and place the flips
+        uniformly over the zero bits.
+        """
+        if self.retention_rate == 0.0 or not page.programmed:
+            return 0
+        zero_positions = [
+            (i, j)
+            for i, value in enumerate(page.data)
+            for j in range(8)
+            if not value >> j & 1
+        ]
+        flips = 0
+        for i, j in zero_positions:
+            if self._rng.random() < self.retention_rate:
+                page.data[i] |= 1 << j
+                flips += 1
+        self.retention_flips += flips
+        return flips
+
+    def interfere(self, neighbour: FlashPage, offset: int, length: int) -> int:
+        """Possibly disturb a neighbour page within ``[offset, offset+length)``.
+
+        Models the capacitive coupling of one delta-append ISPP pulse
+        train.  A disturbance adds charge, so only 1 -> 0 flips occur,
+        and only within the driven bitline range.  Returns bits flipped.
+        """
+        if self.interference_rate == 0.0:
+            return 0
+        if self._rng.random() >= self.interference_rate:
+            return 0
+        one_positions = [
+            (i, j)
+            for i in range(offset, min(offset + length, len(neighbour.data)))
+            for j in range(8)
+            if neighbour.data[i] >> j & 1
+        ]
+        if not one_positions:
+            return 0
+        i, j = self._rng.choice(one_positions)
+        neighbour.data[i] &= ~(1 << j) & 0xFF
+        self.interference_flips += 1
+        return 1
+
+    def age_block(self, block: FlashBlock) -> int:
+        """Apply one retention pass to every page of a block."""
+        return sum(self.age(page) for page in block.pages)

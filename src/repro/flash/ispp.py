@@ -1,0 +1,87 @@
+"""Incremental Step Pulse Programming (ISPP) semantics.
+
+The physical rule the whole paper rests on (its Section 3): ISPP can
+only *increase* the charge of a floating-gate cell.  In SLC encoding an
+uncharged cell reads as bit ``1`` and a charged cell as bit ``0``, so a
+program operation may only flip bits ``1 -> 0``.  Returning a bit to
+``1`` requires erasing the entire block.
+
+This module expresses that rule over byte strings:
+
+* the erased state is ``0xFF`` everywhere;
+* ``can_program(old, new)`` is true iff ``new`` has a ``0`` bit only
+  where allowed, i.e. ``new & ~old == 0`` for every byte;
+* the physical result of programming is ``old & new`` (which equals
+  ``new`` whenever the operation is legal).
+
+Programming a byte with value ``0xFF`` leaves its cells untouched — the
+"self-boosting" pass-through the paper describes — which is exactly why
+a full-page program that carries an all-``0xFF`` delta-record area
+leaves that area appendable later.
+"""
+
+from __future__ import annotations
+
+from ..errors import ProgramError
+
+
+def can_program(old: bytes, new: bytes) -> bool:
+    """Whether ``new`` can be ISPP-programmed over current content ``old``.
+
+    Both buffers must have equal length.  The check is the bitwise
+    charge-increase rule applied to every byte.
+    """
+    if len(old) != len(new):
+        raise ProgramError(
+            f"length mismatch: old={len(old)} bytes, new={len(new)} bytes"
+        )
+    old_i = int.from_bytes(old, "big")
+    new_i = int.from_bytes(new, "big")
+    return new_i & ~old_i == 0
+
+
+def program_result(old: bytes, new: bytes) -> bytes:
+    """Physical cell content after ISPP-programming ``new`` over ``old``.
+
+    Raises :class:`ProgramError` if the operation would need a 0 -> 1
+    transition anywhere.  Computed on big integers so the whole page is
+    processed at C speed.
+    """
+    if len(old) != len(new):
+        raise ProgramError(
+            f"length mismatch: old={len(old)} bytes, new={len(new)} bytes"
+        )
+    old_i = int.from_bytes(old, "big")
+    new_i = int.from_bytes(new, "big")
+    if new_i & ~old_i:
+        offending = first_violation(old, new)
+        raise ProgramError(
+            "ISPP violation: program requires clearing charge "
+            f"(first offending byte at offset {offending})"
+        )
+    return (old_i & new_i).to_bytes(len(old), "big")
+
+
+def first_violation(old: bytes, new: bytes) -> int | None:
+    """Offset of the first byte whose program would violate ISPP.
+
+    Returns ``None`` when the program is legal.  Used for diagnostics.
+    """
+    for i, (a, b) in enumerate(zip(old, new)):
+        if b & ~a:
+            return i
+    return None
+
+
+_ERASED_CACHE: dict[int, bytes] = {}
+
+
+def is_erased(data: bytes) -> bool:
+    """Whether every cell of ``data`` is in the erased (uncharged) state."""
+    length = len(data)
+    reference = _ERASED_CACHE.get(length)
+    if reference is None:
+        reference = b"\xff" * length
+        if length <= 65536:
+            _ERASED_CACHE[length] = reference
+    return bytes(data) == reference

@@ -1,0 +1,107 @@
+"""A single physical NAND flash page (data area + OOB spare area)."""
+
+from __future__ import annotations
+
+from ..errors import AddressError, ProgramError
+from .constants import ERASED_BYTE
+from . import ispp
+
+
+class FlashPage:
+    """One physical page of a flash block.
+
+    The page stores its raw cell content in :attr:`data` (and the spare
+    cells in :attr:`oob`).  All mutation goes through :meth:`program` /
+    :meth:`program_oob`, which enforce the ISPP charge-increase rule,
+    and :meth:`erase`, which only the owning block calls.
+
+    Attributes
+    ----------
+    data:
+        The ``page_size`` data bytes as currently charged on the cells.
+    oob:
+        The out-of-band spare bytes (ECC home).
+    programmed:
+        Whether any program operation hit this page since the last
+        erase.  Used by the FTL allocator and the in-order programming
+        check.
+    program_count:
+        Number of program operations since the last erase (a full-page
+        program and each delta append all count as one ISPP pass).
+    """
+
+    __slots__ = ("data", "oob", "programmed", "program_count", "_page_size", "_oob_size")
+
+    def __init__(self, page_size: int, oob_size: int) -> None:
+        self._page_size = page_size
+        self._oob_size = oob_size
+        self.data = bytearray([ERASED_BYTE]) * 1  # replaced by erase() below
+        self.oob = bytearray()
+        self.programmed = False
+        self.program_count = 0
+        self.erase()
+
+    @property
+    def page_size(self) -> int:
+        return self._page_size
+
+    @property
+    def oob_size(self) -> int:
+        return self._oob_size
+
+    def erase(self) -> None:
+        """Reset every cell to the uncharged state (``0xFF``)."""
+        self.data = bytearray([ERASED_BYTE]) * self._page_size
+        self.oob = bytearray([ERASED_BYTE]) * self._oob_size
+        self.programmed = False
+        self.program_count = 0
+
+    def read(self) -> bytes:
+        """Return a copy of the page's data cells."""
+        return bytes(self.data)
+
+    def read_oob(self) -> bytes:
+        """Return a copy of the page's spare cells."""
+        return bytes(self.oob)
+
+    def is_erased(self) -> bool:
+        """True when no data cell carries charge."""
+        return not self.programmed and ispp.is_erased(self.data)
+
+    def program(self, data: bytes, offset: int = 0) -> None:
+        """ISPP-program ``data`` into the page starting at ``offset``.
+
+        The usual full-page write passes ``offset=0`` and a full-size
+        buffer; a delta append passes the delta-record bytes and the
+        offset of its slot.  Either way each affected cell may only gain
+        charge; an illegal transition raises :class:`ProgramError` and
+        leaves the page unmodified.
+        """
+        self._check_range(offset, len(data), self._page_size, "data")
+        current = bytes(self.data[offset : offset + len(data)])
+        result = ispp.program_result(current, data)  # raises on violation
+        self.data[offset : offset + len(data)] = result
+        self.programmed = True
+        self.program_count += 1
+
+    def program_oob(self, data: bytes, offset: int = 0) -> None:
+        """ISPP-program spare-area bytes (used for appended ECC codes)."""
+        self._check_range(offset, len(data), self._oob_size, "oob")
+        current = bytes(self.oob[offset : offset + len(data)])
+        result = ispp.program_result(current, data)
+        self.oob[offset : offset + len(data)] = result
+
+    def can_append(self, data: bytes, offset: int) -> bool:
+        """Whether ``data`` could be programmed at ``offset`` right now."""
+        if offset < 0 or offset + len(data) > self._page_size:
+            return False
+        current = bytes(self.data[offset : offset + len(data)])
+        return ispp.can_program(current, data)
+
+    def _check_range(self, offset: int, length: int, limit: int, what: str) -> None:
+        if length == 0:
+            raise ProgramError(f"empty {what} program request")
+        if offset < 0 or offset + length > limit:
+            raise AddressError(
+                f"{what} program [{offset}, {offset + length}) exceeds size {limit}"
+            )

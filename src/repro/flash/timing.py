@@ -1,0 +1,69 @@
+"""Latency model for flash operations.
+
+The model charges each operation a cell-array time (read / program /
+erase, dependent on cell type and LSB/MSB page kind) plus a bus transfer
+time proportional to the bytes moved.  It is deliberately simple: the
+point (per the reproduction scoping) is to reproduce the *shape* of the
+paper's latency and throughput results, which are driven by how much
+work the garbage collector adds to the command pipeline, not by exact
+NAND timings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .constants import (
+    ERASE_LATENCY_US,
+    PROGRAM_LATENCY_US,
+    READ_LATENCY_US,
+    TRANSFER_US_PER_KIB,
+    CellType,
+    PageKind,
+)
+
+
+@dataclass
+class LatencyModel:
+    """Computes operation latencies in microseconds.
+
+    The default tables come from :mod:`repro.flash.constants`; tests and
+    benchmarks may override individual entries via the ``overrides``
+    mapping keyed by ``(op, cell_type, page_kind)`` with ``op`` one of
+    ``"read"``, ``"program"``, ``"erase"``.
+    """
+
+    transfer_us_per_kib: float = TRANSFER_US_PER_KIB
+    overrides: dict = field(default_factory=dict)
+
+    def _lookup(self, op: str, cell_type: CellType, kind: PageKind, table: dict) -> float:
+        override = self.overrides.get((op, cell_type, kind))
+        if override is not None:
+            return override
+        return table[(cell_type, kind)]
+
+    def transfer(self, num_bytes: int) -> float:
+        """Bus time to move ``num_bytes`` between host and chip."""
+        return self.transfer_us_per_kib * (num_bytes / 1024.0)
+
+    def read(self, cell_type: CellType, kind: PageKind, num_bytes: int) -> float:
+        """Latency of reading ``num_bytes`` from a page of the given kind."""
+        return self._lookup("read", cell_type, kind, READ_LATENCY_US) + self.transfer(num_bytes)
+
+    def program(self, cell_type: CellType, kind: PageKind, num_bytes: int) -> float:
+        """Latency of a full or partial (ISPP append) page program.
+
+        The ISPP pulse train dominates program time regardless of how
+        many bytes change, so a delta append costs the full array time
+        but only the delta's transfer time — matching the paper's
+        treatment of partial writes ("a partial write of 512B has the
+        same latency as a write of a whole 2KB flash page").
+        """
+        return self._lookup("program", cell_type, kind, PROGRAM_LATENCY_US) + self.transfer(num_bytes)
+
+    def erase(self, cell_type: CellType) -> float:
+        """Latency of a block erase."""
+        override = self.overrides.get(("erase", cell_type, None))
+        if override is not None:
+            return override
+        return ERASE_LATENCY_US[cell_type]

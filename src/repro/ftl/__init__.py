@@ -1,0 +1,36 @@
+"""NoFTL: native flash management with regions and In-Place Appends.
+
+This package implements the device layer the paper's DBMS talks to:
+page-level logical-to-physical mapping, out-of-place writes, greedy
+garbage collection with over-provisioning, NoFTL *regions* with
+per-region IPA modes, and the new ``write_delta`` command that appends
+a delta record onto the physical page a logical page already occupies.
+"""
+
+from .blockdev import BlockSSD, BlockSSDStats
+from .gc import POLICIES, cost_benefit, fifo, get_policy, greedy, wear_aware
+from .mapping import BlockKey, PageMapping
+from .noftl import HostIO, NoFTL, single_region_device
+from .region import IPAMode, Region, RegionConfig, blocks_needed
+from .stats import DeviceStats
+
+__all__ = [
+    "BlockSSD",
+    "BlockSSDStats",
+    "POLICIES",
+    "cost_benefit",
+    "fifo",
+    "get_policy",
+    "greedy",
+    "wear_aware",
+    "BlockKey",
+    "PageMapping",
+    "HostIO",
+    "NoFTL",
+    "single_region_device",
+    "IPAMode",
+    "Region",
+    "RegionConfig",
+    "blocks_needed",
+    "DeviceStats",
+]

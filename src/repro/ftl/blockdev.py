@@ -1,0 +1,156 @@
+"""A conventional block-device SSD with the ``write_delta`` extension.
+
+Section 7 of the paper: IPA's new command can also be retrofitted onto
+traditional FTL-based SSDs — "delta-writes can be implemented on
+conventional SSD and on Native Flash" — at the cost of lower
+performance than under NoFTL, because the host cannot see the mapping.
+
+:class:`BlockSSD` models that: the host talks LBAs through a black-box
+interface; internally a page-level FTL (the same machinery NoFTL uses)
+manages the flash.  ``write_delta(lba, offset, data)`` behaves like the
+paper's primitive::
+
+    write_delta (LBA, offset, delta_length, delta_bytes[])
+
+The device decides what actually happens:
+
+* if the target cells of the current physical page are still erased
+  (and the page kind permits ISPP re-programming), the delta is
+  appended **in place**;
+* otherwise the device falls back internally to a read-modify-write:
+  it reads the page, patches the delta bytes, and writes the result
+  out-of-place.  The host cannot avoid this — unlike under NoFTL,
+  where the DBMS knows the physical state and chooses the path.
+
+The comparison of fallback rates and latencies between :class:`BlockSSD`
+and :class:`~repro.ftl.noftl.NoFTL` quantifies the paper's "lower
+performance compared to IPA under NoFTL" remark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DeltaWriteError, FTLError
+from ..flash.memory import FlashMemory
+from .noftl import HostIO, NoFTL, single_region_device
+from .region import IPAMode
+
+
+@dataclass
+class BlockSSDStats:
+    """Host-visible counters of the block device."""
+
+    reads: int = 0
+    writes: int = 0
+    delta_commands: int = 0
+    #: Delta commands served as true In-Place Appends.
+    deltas_in_place: int = 0
+    #: Delta commands the device had to absorb as read-modify-write.
+    deltas_rmw: int = 0
+
+    @property
+    def rmw_fraction(self) -> float:
+        if self.delta_commands == 0:
+            return 0.0
+        return self.deltas_rmw / self.delta_commands
+
+
+class BlockSSD:
+    """Black-box SSD: LBA interface outside, page-level FTL inside."""
+
+    def __init__(
+        self,
+        flash: FlashMemory,
+        capacity_pages: int,
+        ipa_mode: IPAMode | None = None,
+        overprovisioning: float = 0.10,
+    ) -> None:
+        if ipa_mode is None:
+            from ..flash.constants import CellType
+
+            ipa_mode = (
+                IPAMode.NATIVE
+                if flash.geometry.cell_type is CellType.SLC
+                else IPAMode.ODD_MLC
+            )
+        self._ftl: NoFTL = single_region_device(
+            flash,
+            logical_pages=capacity_pages,
+            ipa_mode=ipa_mode,
+            overprovisioning=overprovisioning,
+        )
+        self.stats = BlockSSDStats()
+
+    # ------------------------------------------------------------------
+    # Block-device interface
+    # ------------------------------------------------------------------
+
+    @property
+    def block_size(self) -> int:
+        return self._ftl.page_size
+
+    @property
+    def capacity_blocks(self) -> int:
+        return self._ftl.logical_pages
+
+    def read_block(self, lba: int, now: float = 0.0) -> HostIO:
+        """Read one logical block (the raw stored image)."""
+        self._check_lba(lba)
+        self.stats.reads += 1
+        return self._ftl.read(lba, now)
+
+    def write_block(self, lba: int, data: bytes, now: float = 0.0) -> HostIO:
+        """Write one logical block (always out-of-place internally)."""
+        self._check_lba(lba)
+        self.stats.writes += 1
+        return self._ftl.write(lba, data, now)
+
+    def write_delta(self, lba: int, offset: int, data: bytes, now: float = 0.0) -> HostIO:
+        """The Section 7 primitive, with device-internal fallback.
+
+        Returns the I/O result; :attr:`stats` records whether the
+        command executed as an in-place append or degenerated into a
+        read-modify-write (which costs a read, a full program, and
+        future GC work — exactly the penalty of the black-box
+        architecture).
+        """
+        self._check_lba(lba)
+        if not data:
+            raise FTLError("empty delta")
+        self.stats.delta_commands += 1
+        try:
+            io = self._ftl.write_delta(lba, offset, data, now)
+            self.stats.deltas_in_place += 1
+            return io
+        except DeltaWriteError:
+            pass
+        # Internal read-modify-write fallback.
+        self.stats.deltas_rmw += 1
+        current = self._ftl.read(lba, now)
+        image = bytearray(current.data)
+        image[offset : offset + len(data)] = data
+        write_io = self._ftl.write(lba, bytes(image), now + current.latency_us)
+        return HostIO(None, current.latency_us + write_io.latency_us)
+
+    def trim(self, lba: int) -> None:
+        """Deallocate one block (its flash pages become garbage)."""
+        self._check_lba(lba)
+        self._ftl.trim(lba)
+
+    # ------------------------------------------------------------------
+    # Introspection (SMART-style, not part of the block interface)
+    # ------------------------------------------------------------------
+
+    @property
+    def internal(self) -> NoFTL:
+        """The device-internal FTL, for tests and wear reporting."""
+        return self._ftl
+
+    def wear_summary(self) -> dict:
+        """Min / max / total erase counts (SMART-style)."""
+        return self._ftl.flash.wear_summary()
+
+    def _check_lba(self, lba: int) -> None:
+        if not 0 <= lba < self._ftl.logical_pages:
+            raise FTLError(f"LBA {lba} out of range [0, {self._ftl.logical_pages})")

@@ -1,0 +1,363 @@
+"""The NoFTL controller: native flash management inside the DBMS.
+
+Implements the storage interface of the paper (Sections 5 and 7):
+
+* ``read(lpn)`` / ``write(lpn, data)`` — the conventional block commands;
+  writes are out-of-place with page-level mapping and greedy GC.
+* ``write_delta(lpn, offset, data)`` — the paper's new first-class I/O
+  command: ISPP-appends ``data`` into the erased part of the *same*
+  physical page the logical page already lives on.  No mapping change,
+  no page invalidation, no GC pressure.
+* regions — physically partitioned block sets with individual IPA modes.
+
+Timing: the controller owns the device clock discipline.  Each command
+is executed on the target page's chip; a chip runs one command at a
+time, so the returned *observed* latency includes the wait for the chip
+to become free.  Garbage collection runs inline on the same chips,
+which is exactly how GC interference degrades host latencies on real
+SSDs (Section 8.4, "I/O and Transactional Response Times").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import (
+    DeltaWriteError,
+    FTLError,
+    OutOfSpaceError,
+    RegionError,
+)
+from ..flash.geometry import PhysicalAddress
+from ..flash.memory import FlashMemory
+from .gc import VictimPolicy, greedy
+from .mapping import BlockKey, PageMapping
+from .region import IPAMode, Region, RegionConfig, blocks_needed
+from .stats import DeviceStats
+
+
+@dataclass
+class HostIO:
+    """Result of one host command: payload (reads) and observed latency."""
+
+    data: bytes | None
+    latency_us: float
+
+
+class NoFTL:
+    """Native flash controller with regions and In-Place Appends.
+
+    Build one with :meth:`create` (region list) or the
+    :func:`single_region_device` convenience factory.
+    """
+
+    def __init__(
+        self,
+        flash: FlashMemory,
+        regions: list[Region],
+        victim_policy: VictimPolicy = greedy,
+        serialize_io: bool = False,
+    ) -> None:
+        self.flash = flash
+        self.regions = regions
+        self.mapping = PageMapping(flash.geometry)
+        self.victim_policy = victim_policy
+        #: OpenSSD-Jasmine mode: no NCQ, one host command at a time.
+        self.serialize_io = serialize_io
+        self.stats = DeviceStats()
+        self._device_busy_until = 0.0
+        self._erase_counts: dict[BlockKey, int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        flash: FlashMemory,
+        configs: list[RegionConfig],
+        victim_policy: VictimPolicy = greedy,
+        serialize_io: bool = False,
+    ) -> "NoFTL":
+        """Partition the flash array into the requested regions.
+
+        Blocks are handed out striped across each region's allowed chips
+        so regions keep chip-level parallelism.  Logical page numbers of
+        consecutive regions are stacked contiguously starting at 0.
+        """
+        geometry = flash.geometry
+        available: dict[int, list[int]] = {
+            chip: list(range(geometry.blocks_per_chip)) for chip in range(geometry.chips)
+        }
+        regions: list[Region] = []
+        lpn_start = 0
+        for config in configs:
+            chips = config.chips if config.chips is not None else list(range(geometry.chips))
+            for chip in chips:
+                if chip not in available:
+                    raise RegionError(f"region {config.name!r}: chip {chip} does not exist")
+            needed = blocks_needed(config, geometry)
+            blocks: list[BlockKey] = []
+            cursor = 0
+            while len(blocks) < needed:
+                chip = chips[cursor % len(chips)]
+                cursor += 1
+                if available[chip]:
+                    blocks.append((chip, available[chip].pop(0)))
+                elif all(not available[c] for c in chips):
+                    raise RegionError(
+                        f"region {config.name!r} needs {needed} blocks, flash exhausted"
+                    )
+            regions.append(Region(config, geometry, lpn_start, blocks))
+            lpn_start += config.logical_pages
+        return cls(flash, regions, victim_policy=victim_policy, serialize_io=serialize_io)
+
+    # ------------------------------------------------------------------
+    # Region / address helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def page_size(self) -> int:
+        return self.flash.geometry.page_size
+
+    @property
+    def logical_pages(self) -> int:
+        return sum(region.config.logical_pages for region in self.regions)
+
+    def region_of(self, lpn: int) -> Region:
+        """The region hosting a logical page."""
+        for region in self.regions:
+            if region.contains(lpn):
+                return region
+        raise FTLError(f"logical page {lpn} outside every region")
+
+    def region_named(self, name: str) -> Region:
+        """Look a region up by its declared name."""
+        for region in self.regions:
+            if region.name == name:
+                return region
+        raise RegionError(f"no region named {name!r}")
+
+    def physical_address(self, lpn: int) -> PhysicalAddress:
+        """Current physical home of a logical page (raises if unmapped)."""
+        return self.mapping.lookup(lpn)
+
+    def is_mapped(self, lpn: int) -> bool:
+        """Whether the logical page has ever been written."""
+        return lpn in self.mapping
+
+    # ------------------------------------------------------------------
+    # Host commands
+    # ------------------------------------------------------------------
+
+    def read(self, lpn: int, now: float = 0.0) -> HostIO:
+        """Read the raw flash image of a logical page.
+
+        The image contains the page body as last written plus any delta
+        records appended since; applying them is the storage layer's job.
+        """
+        address = self.mapping.lookup(lpn)
+        op = self.flash.read(address)
+        latency = self._execute(address, op.latency_us, now)
+        self.stats.host_reads += 1
+        self.stats.bytes_host_read += len(op.data)
+        self.stats.read_latency_us_total += latency
+        return HostIO(op.data, latency)
+
+    def write(self, lpn: int, data: bytes, now: float = 0.0) -> HostIO:
+        """Out-of-place write of a full logical page."""
+        if len(data) != self.page_size:
+            raise FTLError(
+                f"write of {len(data)} bytes; device page size is {self.page_size}"
+            )
+        region = self.region_of(lpn)
+        now = self._collect_if_needed(region, now)
+        address = self._allocate(region)
+        op = self.flash.program(address, data)
+        latency = self._execute(address, op.latency_us, now)
+        self.mapping.bind(lpn, address)
+        self.stats.host_page_writes += 1
+        self.stats.bytes_page_written += len(data)
+        self.stats.write_latency_us_total += latency
+        return HostIO(None, latency)
+
+    def can_write_delta(self, lpn: int, offset: int, length: int) -> bool:
+        """Whether a delta of ``length`` bytes at ``offset`` can append in place."""
+        if lpn not in self.mapping:
+            return False
+        address = self.mapping.lookup(lpn)
+        region = self.region_of(lpn)
+        if not region.appends_allowed_at(address):
+            return False
+        if length <= 0 or offset < 0 or offset + length > self.page_size:
+            return False
+        page = self.flash.page_at(address)
+        slot = bytes(page.data[offset : offset + length])
+        # A delta slot must still be erased: the append may carry any bytes.
+        return all(b == 0xFF for b in slot)
+
+    def write_delta(self, lpn: int, offset: int, data: bytes, now: float = 0.0) -> HostIO:
+        """In-place append of a delta record onto the page's current home.
+
+        Raises :class:`DeltaWriteError` when the region mode, the page
+        kind (MSB under odd-MLC) or the cell state forbids the append;
+        the caller is expected to fall back to :meth:`write`.
+        """
+        if not data:
+            raise DeltaWriteError("empty delta")
+        if lpn not in self.mapping:
+            raise DeltaWriteError(f"logical page {lpn} not yet written")
+        address = self.mapping.lookup(lpn)
+        region = self.region_of(lpn)
+        if not region.appends_allowed_at(address):
+            raise DeltaWriteError(
+                f"region {region.name!r} ({region.ipa_mode.value}) forbids appends at {address}"
+            )
+        page = self.flash.page_at(address)
+        slot = bytes(page.data[offset : offset + len(data)])
+        if len(slot) != len(data) or any(b != 0xFF for b in slot):
+            raise DeltaWriteError(
+                f"delta at [{offset}, {offset + len(data)}) hits programmed cells"
+            )
+        op = self.flash.program(address, data, offset)
+        latency = self._execute(address, op.latency_us, now)
+        self.stats.delta_writes += 1
+        self.stats.bytes_delta_written += len(data)
+        self.stats.write_latency_us_total += latency
+        return HostIO(None, latency)
+
+    def write_oob(self, lpn: int, data: bytes, offset: int = 0) -> None:
+        """Append ECC bytes to the OOB area of a logical page's home."""
+        self.flash.program_oob(self.mapping.lookup(lpn), data, offset)
+
+    def read_oob(self, lpn: int) -> bytes:
+        """Spare-area bytes of a logical page's current home."""
+        return self.flash.read_oob(self.mapping.lookup(lpn))
+
+    def trim(self, lpn: int) -> None:
+        """Drop a logical page (deallocation); its cells become garbage."""
+        self.mapping.unbind(lpn)
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+
+    def _collect_if_needed(self, region: Region, now: float) -> float:
+        """Run GC rounds until the region's free list is above reserve.
+
+        Returns the simulated time after any GC work, so the triggering
+        host write observes the GC delay — the interference the paper
+        measures.
+        """
+        guard = 0
+        while region.needs_gc():
+            if not self._collect_one(region, now):
+                if region.erased_available <= 0:
+                    raise OutOfSpaceError(
+                        f"region {region.name!r}: nothing reclaimable"
+                    )
+                break
+            guard += 1
+            if guard > 2 * len(region.blocks):
+                raise OutOfSpaceError(f"region {region.name!r}: GC livelock")
+        return now
+
+    def _collect_one(self, region: Region, now: float) -> bool:
+        """One GC round: pick victim, migrate valid pages, erase.
+
+        Every GC flash operation is scheduled on its chip's pipeline, so
+        host commands issued afterwards observe the GC delay.
+        """
+        candidates = [
+            key
+            for key in region.candidate_victims()
+            if self.mapping.valid_count(key) < region.usable_pages_per_block
+        ]
+        victim = self.victim_policy(candidates, self.mapping, self._erase_counts)
+        if victim is None:
+            # Every block is an open write block: close the least-valid
+            # one so the collector has something to reclaim.
+            victim = region.retire_active(self.mapping)
+            if victim is None:
+                return False
+        gc_time = 0.0
+        for lpn, address in self.mapping.valid_pages_in_block(victim):
+            read_op = self.flash.read(address)
+            gc_time += self._busy(address, read_op.latency_us, now)
+            target = self._allocate(region)
+            program_op = self.flash.program(target, read_op.data)
+            gc_time += self._busy(target, program_op.latency_us, now)
+            # The spare area travels with the page: ECC codes protect
+            # content that is migrated verbatim, so they stay valid.
+            oob = self.flash.page_at(address).read_oob()
+            if any(b != 0xFF for b in oob):
+                self.flash.program_oob(target, oob)
+            self.mapping.bind(lpn, target)
+            self.stats.gc_page_migrations += 1
+        self.mapping.block_emptied(victim)
+        erase_op = self.flash.erase(victim[0], victim[1])
+        gc_time += self._busy(
+            PhysicalAddress(victim[0], victim[1], 0), erase_op.latency_us, now
+        )
+        self._erase_counts[victim] = self._erase_counts.get(victim, 0) + 1
+        self.stats.gc_erases += 1
+        self.stats.gc_time_us_total += gc_time
+        region.release_block(victim)
+        return True
+
+    def _allocate(self, region: Region) -> PhysicalAddress:
+        return region.allocate()
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+
+    def _execute(self, address: PhysicalAddress, raw_latency: float, now: float) -> float:
+        """Schedule one command on its chip; returns observed latency."""
+        chip = self.flash.chip_of(address)
+        start = max(now, chip.busy_until)
+        if self.serialize_io:
+            start = max(start, self._device_busy_until)
+        end = start + raw_latency
+        chip.busy_until = end
+        if self.serialize_io:
+            self._device_busy_until = end
+        return end - now
+
+    def _busy(self, address: PhysicalAddress, raw_latency: float, now: float) -> float:
+        """Occupy a chip pipeline with device-internal (GC) work.
+
+        Identical scheduling to :meth:`_execute`, but the caller does
+        not wait on the result — the cost shows up as queueing delay for
+        later host commands on the same chip.  Returns the raw latency
+        for GC-time accounting.
+        """
+        chip = self.flash.chip_of(address)
+        start = max(now, chip.busy_until)
+        chip.busy_until = start + raw_latency
+        if self.serialize_io:
+            self._device_busy_until = max(self._device_busy_until, chip.busy_until)
+        return raw_latency
+
+
+def single_region_device(
+    flash: FlashMemory,
+    logical_pages: int,
+    ipa_mode: IPAMode = IPAMode.NONE,
+    overprovisioning: float = 0.10,
+    victim_policy: VictimPolicy = greedy,
+    serialize_io: bool = False,
+    gc_reserve_blocks: int = 2,
+) -> NoFTL:
+    """A NoFTL device with one region spanning the whole logical space."""
+    config = RegionConfig(
+        name="default",
+        logical_pages=logical_pages,
+        ipa_mode=ipa_mode,
+        overprovisioning=overprovisioning,
+        gc_reserve_blocks=gc_reserve_blocks,
+    )
+    return NoFTL.create(
+        flash, [config], victim_policy=victim_policy, serialize_io=serialize_io
+    )

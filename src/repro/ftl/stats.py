@@ -1,0 +1,88 @@
+"""I/O statistics kept by the NoFTL device.
+
+These counters are the raw material for every table in the paper's
+evaluation: host reads/writes, delta writes (In-Place Appends), garbage
+collection page migrations and erases, and host-observed latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DeviceStats:
+    """Counters of one NoFTL device (or one region, when split)."""
+
+    host_reads: int = 0
+    #: Full-page out-of-place host writes.
+    host_page_writes: int = 0
+    #: ``write_delta`` commands executed as In-Place Appends.
+    delta_writes: int = 0
+    gc_page_migrations: int = 0
+    gc_erases: int = 0
+    bytes_host_read: int = 0
+    bytes_page_written: int = 0
+    bytes_delta_written: int = 0
+    read_latency_us_total: float = 0.0
+    write_latency_us_total: float = 0.0
+    gc_time_us_total: float = 0.0
+
+    @property
+    def host_writes(self) -> int:
+        """All DBMS write requests: out-of-place writes + In-Place Appends."""
+        return self.host_page_writes + self.delta_writes
+
+    @property
+    def out_of_place_fraction(self) -> float:
+        """Fraction of write requests served as out-of-place page writes."""
+        if self.host_writes == 0:
+            return 0.0
+        return self.host_page_writes / self.host_writes
+
+    @property
+    def ipa_fraction(self) -> float:
+        """Fraction of write requests served as In-Place Appends."""
+        if self.host_writes == 0:
+            return 0.0
+        return self.delta_writes / self.host_writes
+
+    @property
+    def migrations_per_host_write(self) -> float:
+        if self.host_writes == 0:
+            return 0.0
+        return self.gc_page_migrations / self.host_writes
+
+    @property
+    def erases_per_host_write(self) -> float:
+        if self.host_writes == 0:
+            return 0.0
+        return self.gc_erases / self.host_writes
+
+    @property
+    def mean_read_latency_us(self) -> float:
+        if self.host_reads == 0:
+            return 0.0
+        return self.read_latency_us_total / self.host_reads
+
+    @property
+    def mean_write_latency_us(self) -> float:
+        if self.host_writes == 0:
+            return 0.0
+        return self.write_latency_us_total / self.host_writes
+
+    def snapshot(self) -> dict:
+        """Plain dict of raw and derived values for reporting."""
+        return {
+            "host_reads": self.host_reads,
+            "host_writes": self.host_writes,
+            "host_page_writes": self.host_page_writes,
+            "delta_writes": self.delta_writes,
+            "gc_page_migrations": self.gc_page_migrations,
+            "gc_erases": self.gc_erases,
+            "migrations_per_host_write": self.migrations_per_host_write,
+            "erases_per_host_write": self.erases_per_host_write,
+            "ipa_fraction": self.ipa_fraction,
+            "mean_read_latency_us": self.mean_read_latency_us,
+            "mean_write_latency_us": self.mean_write_latency_us,
+        }

@@ -1,0 +1,8 @@
+"""The In-Page Logging baseline (Lee & Moon, SIGMOD'07) and the
+trace-replay harness for the paper's Table 2 IPL-vs-IPA comparison."""
+
+from .config import IPLConfig
+from .ipa_replay import IPAReplay, replay_events
+from .simulator import IPLSimulator, IPLStats
+
+__all__ = ["IPLConfig", "IPAReplay", "replay_events", "IPLSimulator", "IPLStats"]

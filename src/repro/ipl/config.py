@@ -1,0 +1,52 @@
+"""Configuration of the In-Page Logging baseline (Lee & Moon, SIGMOD'07).
+
+The defaults reproduce the setup the paper uses for its Table 2
+comparison (Section 8.3): 8 KiB logical DB pages on SLC flash with
+2 KiB physical pages, 64 physical pages per erase unit, 512-byte
+partial writes, a 512-byte in-memory log sector per DB page, and an
+8 KiB log region per erase unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class IPLConfig:
+    db_page_size: int = 8192
+    flash_page_size: int = 2048
+    pages_per_erase_unit: int = 64
+    log_region_bytes: int = 8192
+    sector_bytes: int = 512
+    #: Serialized overhead per logged update record (offset/len header).
+    log_entry_overhead: int = 12
+
+    def __post_init__(self) -> None:
+        if self.db_page_size % self.flash_page_size:
+            raise WorkloadError("db_page_size must be a multiple of flash_page_size")
+        if self.log_region_bytes % self.sector_bytes:
+            raise WorkloadError("log region must be sector aligned")
+        if self.log_region_bytes >= self.pages_per_erase_unit * self.flash_page_size:
+            raise WorkloadError("log region exceeds the erase unit")
+
+    @property
+    def flash_pages_per_db_page(self) -> int:
+        """Physical 2 KiB I/Os per logical DB page (the formulas' 4io)."""
+        return self.db_page_size // self.flash_page_size
+
+    @property
+    def log_flash_pages(self) -> int:
+        return self.log_region_bytes // self.flash_page_size
+
+    @property
+    def db_pages_per_erase_unit(self) -> int:
+        """Logical DB pages co-located with one log region (paper: 15)."""
+        data_pages = self.pages_per_erase_unit - self.log_flash_pages
+        return data_pages // self.flash_pages_per_db_page
+
+    @property
+    def log_sectors_per_unit(self) -> int:
+        return self.log_region_bytes // self.sector_bytes

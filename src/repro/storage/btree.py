@@ -1,0 +1,313 @@
+"""A disk-resident B+-tree index over buffer-pool pages.
+
+Shore-MT's index layer, scaled to this engine: fixed-width byte-string
+keys, values are RIDs, every node is one slotted database page fetched
+through the buffer pool (so index I/O participates in the IPA write
+path like any other page — index updates are small and make excellent
+In-Place Appends).
+
+Node layout (records inside a :class:`~repro.storage.page_layout.SlottedPage`):
+
+* record 0 is the node header: ``kind (1B) | key_width (2B) | right_sibling (4B)``
+* leaf entries: ``key | rid_lpn (4B) | rid_slot (2B)``, kept sorted;
+* inner entries: ``key | child_lpn (4B)``; the key is the *smallest*
+  key in the child's subtree, the first entry's key is ignored.
+
+The tree only needs insert / delete / point lookup / range scan for the
+workloads; keys are unique (primary indexes).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator
+
+from ..errors import RecordNotFoundError, SchemaError, StorageError
+from .heap import RID
+
+_LEAF = 0
+_INNER = 1
+_NO_SIBLING = 0xFFFFFFFF
+
+_LEAF_ENTRY_SUFFIX = 6  # rid lpn (4) + rid slot (2)
+_INNER_ENTRY_SUFFIX = 4  # child lpn (4)
+
+
+class BTreeIndex:
+    """A unique B+-tree index mapping fixed-width keys to RIDs."""
+
+    def __init__(self, engine, name: str, key_width: int, region: str | None = None) -> None:
+        if key_width <= 0 or key_width > 256:
+            raise SchemaError("key_width must be in (0, 256]")
+        self._engine = engine
+        self.name = name
+        self.key_width = key_width
+        #: The index allocates its node pages like a table does.
+        self.region = (
+            engine.device.region_named(region) if region else engine.device.regions[0]
+        )
+        self.pages: list[int] = []
+        self.root_lpn = self._new_node(_LEAF)
+        self.entry_count = 0
+
+    # ------------------------------------------------------------------
+    # Node primitives
+    # ------------------------------------------------------------------
+
+    def _new_node(self, kind: int) -> int:
+        lpn = self._engine.allocate_page(self)
+        self.pages.append(lpn)
+        frame = self._engine.pin(lpn)
+        try:
+            header = bytes([kind]) + self.key_width.to_bytes(2, "big") + _NO_SIBLING.to_bytes(4, "big")
+            frame.page.insert(header)
+        finally:
+            self._engine.unpin(lpn, dirty=True)
+        return lpn
+
+    def _node_kind(self, page) -> int:
+        return page.read_record(0)[0]
+
+    def _sibling(self, page) -> int:
+        value = int.from_bytes(page.read_record(0)[3:7], "big")
+        return -1 if value == _NO_SIBLING else value
+
+    def _set_sibling(self, page, lpn: int) -> None:
+        raw = (lpn if lpn >= 0 else _NO_SIBLING).to_bytes(4, "big")
+        page.update_record_bytes(0, 3, raw)
+
+    def _entries(self, page) -> list[bytes]:
+        """All entry records of a node, sorted by key (slot order)."""
+        return [page.read_record(slot) for slot in page.live_slots() if slot != 0]
+
+    def _entry_key(self, entry: bytes) -> bytes:
+        return entry[: self.key_width]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def _check_key(self, key: bytes) -> bytes:
+        if not isinstance(key, (bytes, bytearray)):
+            raise SchemaError("index keys are byte strings")
+        if len(key) != self.key_width:
+            raise SchemaError(
+                f"key of {len(key)} bytes; index {self.name!r} uses {self.key_width}"
+            )
+        return bytes(key)
+
+    def _descend(self, key: bytes) -> list[int]:
+        """Path of node lpns from the root to the target leaf."""
+        path = [self.root_lpn]
+        while True:
+            frame = self._engine.pin(path[-1])
+            try:
+                page = frame.page
+                if self._node_kind(page) == _LEAF:
+                    return path
+                # Slot order is insertion order; descent needs key order.
+                # The sentinel first entry (all-zero key) sorts first.
+                entries = sorted(self._entries(page), key=self._entry_key)
+                keys = [self._entry_key(entry) for entry in entries]
+                index = bisect.bisect_right(keys, key, lo=1) - 1
+                child = int.from_bytes(
+                    entries[index][self.key_width : self.key_width + 4], "big"
+                )
+            finally:
+                self._engine.unpin(path[-1], dirty=False)
+            path.append(child)
+
+    def search(self, key: bytes) -> RID:
+        """Exact lookup; raises :class:`RecordNotFoundError` when absent."""
+        key = self._check_key(key)
+        leaf = self._descend(key)[-1]
+        frame = self._engine.pin(leaf)
+        try:
+            for entry in self._entries(frame.page):
+                if self._entry_key(entry) == key:
+                    lpn = int.from_bytes(entry[self.key_width : self.key_width + 4], "big")
+                    slot = int.from_bytes(entry[self.key_width + 4 : self.key_width + 6], "big")
+                    return RID(lpn, slot)
+        finally:
+            self._engine.unpin(leaf, dirty=False)
+        raise RecordNotFoundError(f"index {self.name!r}: key {key!r} not found")
+
+    def range_scan(self, low: bytes, high: bytes) -> Iterator[tuple[bytes, RID]]:
+        """Yield ``(key, rid)`` for ``low <= key <= high`` in key order."""
+        low = self._check_key(low)
+        high = self._check_key(high)
+        leaf = self._descend(low)[-1]
+        while leaf >= 0:
+            frame = self._engine.pin(leaf)
+            try:
+                entries = sorted(self._entries(frame.page),
+                                 key=self._entry_key)
+                sibling = self._sibling(frame.page)
+            finally:
+                self._engine.unpin(leaf, dirty=False)
+            for entry in entries:
+                key = self._entry_key(entry)
+                if key < low:
+                    continue
+                if key > high:
+                    return
+                lpn = int.from_bytes(entry[self.key_width : self.key_width + 4], "big")
+                slot = int.from_bytes(entry[self.key_width + 4 : self.key_width + 6], "big")
+                yield key, RID(lpn, slot)
+            leaf = sibling
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+
+    def insert(self, key: bytes, rid: RID) -> None:
+        """Insert a unique key; raises on duplicates."""
+        key = self._check_key(key)
+        entry = key + rid.lpn.to_bytes(4, "big") + rid.slot.to_bytes(2, "big")
+        path = self._descend(key)
+        split = self._insert_into(path[-1], entry, key)
+        # Propagate splits upward.
+        while split is not None:
+            separator, new_lpn = split
+            if len(path) == 1:
+                self._grow_root(separator, new_lpn)
+                split = None
+            else:
+                path.pop()
+                inner_entry = separator + new_lpn.to_bytes(4, "big")
+                split = self._insert_into(path[-1], inner_entry, separator)
+        self.entry_count += 1
+
+    def _insert_into(self, lpn: int, entry: bytes, key: bytes):
+        """Insert an entry into a node; returns (separator, new_lpn) on split."""
+        frame = self._engine.pin(lpn)
+        page = frame.page
+        try:
+            for existing in self._entries(page):
+                if self._entry_key(existing) == key:
+                    raise StorageError(f"duplicate key {key!r} in index {self.name!r}")
+            if page.free_space >= len(entry) + 8:
+                page.insert(entry)
+                self._engine.unpin(lpn, dirty=True)
+                return None
+            # Split: move the upper half of the sorted entries out.
+            kind = self._node_kind(page)
+            entries = sorted(self._entries(page) + [entry], key=self._entry_key)
+            middle = len(entries) // 2
+            keep, move = entries[:middle], entries[middle:]
+            separator = self._entry_key(move[0])
+            old_sibling = self._sibling(page)
+            for slot in list(page.live_slots()):
+                if slot != 0:
+                    page.delete_record(slot)
+            page.compact()
+            for record in keep:
+                page.insert(record)
+        finally:
+            if frame.pin_count:
+                self._engine.unpin(lpn, dirty=True)
+        new_lpn = self._new_node(kind)
+        new_frame = self._engine.pin(new_lpn)
+        try:
+            for record in move:
+                new_frame.page.insert(record)
+            if kind == _LEAF:
+                self._set_sibling(new_frame.page, old_sibling)
+        finally:
+            self._engine.unpin(new_lpn, dirty=True)
+        if kind == _LEAF:
+            frame = self._engine.pin(lpn)
+            try:
+                self._set_sibling(frame.page, new_lpn)
+            finally:
+                self._engine.unpin(lpn, dirty=True)
+        return separator, new_lpn
+
+    def _grow_root(self, separator: bytes, right_lpn: int) -> None:
+        """The root split: create a new root above both halves."""
+        old_root = self.root_lpn
+        new_root = self._new_node(_INNER)
+        frame = self._engine.pin(new_root)
+        try:
+            # First entry's key is a sentinel (ignored by descent).
+            frame.page.insert(b"\x00" * self.key_width + old_root.to_bytes(4, "big"))
+            frame.page.insert(separator + right_lpn.to_bytes(4, "big"))
+        finally:
+            self._engine.unpin(new_root, dirty=True)
+        self.root_lpn = new_root
+
+    # ------------------------------------------------------------------
+    # Delete
+    # ------------------------------------------------------------------
+
+    def delete(self, key: bytes) -> None:
+        """Remove a key (no rebalancing: leaves may underflow, which is
+        how Shore-MT and most engines behave between reorganizations)."""
+        key = self._check_key(key)
+        leaf = self._descend(key)[-1]
+        frame = self._engine.pin(leaf)
+        try:
+            for slot in frame.page.live_slots():
+                if slot == 0:
+                    continue
+                if self._entry_key(frame.page.read_record(slot)) == key:
+                    frame.page.delete_record(slot)
+                    self.entry_count -= 1
+                    self._engine.unpin(leaf, dirty=True)
+                    return
+        except Exception:
+            self._engine.unpin(leaf, dirty=True)
+            raise
+        self._engine.unpin(leaf, dirty=False)
+        raise RecordNotFoundError(f"index {self.name!r}: key {key!r} not found")
+
+    # ------------------------------------------------------------------
+    # Maintenance / introspection
+    # ------------------------------------------------------------------
+
+    def height(self) -> int:
+        """Levels from root to leaf (1 = the root is a leaf)."""
+        levels = 1
+        lpn = self.root_lpn
+        while True:
+            frame = self._engine.pin(lpn)
+            try:
+                page = frame.page
+                if self._node_kind(page) == _LEAF:
+                    return levels
+                first = self._entries(page)[0]
+                lpn = int.from_bytes(first[self.key_width : self.key_width + 4], "big")
+            finally:
+                self._engine.unpin(page.page_id, dirty=False)
+            levels += 1
+
+    def keys(self) -> Iterator[bytes]:
+        """All keys in order (full leaf walk)."""
+        lpn = self.root_lpn
+        # walk down the leftmost spine
+        while True:
+            frame = self._engine.pin(lpn)
+            try:
+                page = frame.page
+                if self._node_kind(page) == _LEAF:
+                    break
+                first = self._entries(page)[0]
+                next_lpn = int.from_bytes(first[self.key_width : self.key_width + 4], "big")
+            finally:
+                self._engine.unpin(lpn, dirty=False)
+            lpn = next_lpn
+        while lpn >= 0:
+            frame = self._engine.pin(lpn)
+            try:
+                entries = sorted(self._entries(frame.page), key=self._entry_key)
+                sibling = self._sibling(frame.page)
+            finally:
+                self._engine.unpin(lpn, dirty=False)
+            for entry in entries:
+                yield self._entry_key(entry)
+            lpn = sibling
+
+
+def int_key(value: int, width: int = 8) -> bytes:
+    """Encode an unsigned integer as an order-preserving index key."""
+    return value.to_bytes(width, "big")

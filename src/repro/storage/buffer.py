@@ -1,0 +1,245 @@
+"""Buffer pool with LRU replacement and eager / non-eager cleaning.
+
+The pool's flush behaviour is where IPA plugs into the engine: every
+write-back of a dirty frame goes through a *flusher* callback (the
+:class:`~repro.core.manager.IPAManager`), which decides between an
+in-place append (``write_delta``) and a conventional out-of-place page
+write.
+
+Two flush triggers model Shore-MT's policies (Section 8.4):
+
+* **Eviction** — a fetch miss with a full pool steals the least
+  recently used unpinned frame, flushing it first if dirty.
+* **Eager cleaning** — when the dirty fraction crosses a threshold
+  (12.5% hard-coded in Shore-MT; 75% in the paper's "non-eager"
+  configuration), background cleaners flush the coldest dirty frames
+  until the pool is below the threshold again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import BufferError_
+from .page_layout import SlottedPage
+
+
+class Frame:
+    """One buffer slot: a page plus its residency state."""
+
+    __slots__ = ("lpn", "page", "pin_count", "dirty", "slots_used", "ipa_disabled")
+
+    def __init__(self, lpn: int, page: SlottedPage, slots_used: int = 0) -> None:
+        self.lpn = lpn
+        self.page = page
+        self.pin_count = 0
+        self.dirty = False
+        #: Delta records already programmed on the page's flash home
+        #: (the paper's N_E); reset to 0 by every out-of-place write.
+        self.slots_used = slots_used
+        #: Set when tracked changes overflowed the [N x M] budget; the
+        #: next flush must be out-of-place.
+        self.ipa_disabled = False
+
+
+@dataclass
+class BufferStats:
+    fetches: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    evict_flushes: int = 0
+    cleaner_flushes: int = 0
+    checkpoint_flushes: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.fetches if self.fetches else 0.0
+
+
+#: flush callback: (frame, now_us) -> (kind, device_latency_us)
+#: kind is "ipa", "oop" or "skip" (clean flush of an unchanged page).
+Flusher = Callable[[Frame, float], tuple[str, float]]
+
+#: loader callback: (lpn, now_us) -> (page, slots_used, read_latency_us)
+Loader = Callable[[int, float], tuple[SlottedPage, int, float]]
+
+
+class BufferPool:
+    """Fixed-capacity page cache with LRU replacement."""
+
+    def __init__(
+        self,
+        capacity: int,
+        loader: Loader,
+        flusher: Flusher,
+        dirty_threshold: float = 0.125,
+    ) -> None:
+        if capacity < 1:
+            raise BufferError_("buffer pool needs at least one frame")
+        if not 0.0 < dirty_threshold <= 1.0:
+            raise BufferError_("dirty_threshold must be in (0, 1]")
+        self.capacity = capacity
+        self._loader = loader
+        self._flusher = flusher
+        self.dirty_threshold = dirty_threshold
+        #: lpn -> Frame; dict order is LRU order (front = coldest).
+        self._frames: dict[int, Frame] = {}
+        self._dirty_count = 0
+        self.stats = BufferStats()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def __contains__(self, lpn: int) -> bool:
+        return lpn in self._frames
+
+    @property
+    def dirty_count(self) -> int:
+        return self._dirty_count
+
+    @property
+    def dirty_fraction(self) -> float:
+        return self._dirty_count / self.capacity
+
+    def frame(self, lpn: int) -> Frame:
+        """Direct (non-touching) access to a resident frame."""
+        try:
+            return self._frames[lpn]
+        except KeyError as exc:
+            raise BufferError_(f"page {lpn} is not resident") from exc
+
+    # ------------------------------------------------------------------
+    # Fetch / pin lifecycle
+    # ------------------------------------------------------------------
+
+    def fetch(self, lpn: int, now: float) -> tuple[Frame, float]:
+        """Pin a page, loading it on a miss; returns (frame, read latency)."""
+        self.stats.fetches += 1
+        frame = self._frames.get(lpn)
+        if frame is not None:
+            self.stats.hits += 1
+            self._touch(lpn, frame)
+            frame.pin_count += 1
+            return frame, 0.0
+        self.stats.misses += 1
+        latency = self._make_room(now)
+        page, slots_used, read_latency = self._loader(lpn, now + latency)
+        frame = Frame(lpn, page, slots_used)
+        frame.pin_count = 1
+        self._frames[lpn] = frame
+        return frame, latency + read_latency
+
+    def put_new(self, lpn: int, page: SlottedPage, now: float) -> Frame:
+        """Install a freshly formatted page (no device read), pinned and dirty."""
+        if lpn in self._frames:
+            raise BufferError_(f"page {lpn} already resident")
+        self._make_room(now)
+        frame = Frame(lpn, page, slots_used=0)
+        frame.pin_count = 1
+        self._frames[lpn] = frame
+        self._mark_dirty(frame)
+        return frame
+
+    def unpin(self, lpn: int, dirty: bool = False) -> None:
+        """Release one pin; ``dirty`` marks the page as modified."""
+        frame = self.frame(lpn)
+        if frame.pin_count <= 0:
+            raise BufferError_(f"page {lpn} is not pinned")
+        frame.pin_count -= 1
+        if dirty:
+            self._mark_dirty(frame)
+
+    def _touch(self, lpn: int, frame: Frame) -> None:
+        """Move a frame to the hot end of the LRU order."""
+        del self._frames[lpn]
+        self._frames[lpn] = frame
+
+    def _mark_dirty(self, frame: Frame) -> None:
+        if not frame.dirty:
+            frame.dirty = True
+            self._dirty_count += 1
+
+    # ------------------------------------------------------------------
+    # Eviction and cleaning
+    # ------------------------------------------------------------------
+
+    def _make_room(self, now: float) -> float:
+        """Evict the LRU unpinned frame if the pool is full."""
+        if len(self._frames) < self.capacity:
+            return 0.0
+        for lpn, frame in self._frames.items():
+            if frame.pin_count == 0:
+                latency = 0.0
+                if frame.dirty:
+                    __, latency = self._flush_frame(frame, now)
+                    self.stats.evict_flushes += 1
+                del self._frames[lpn]
+                self.stats.evictions += 1
+                return latency
+        raise BufferError_("every frame is pinned; cannot evict")
+
+    def _flush_frame(self, frame: Frame, now: float) -> tuple[str, float]:
+        kind, latency = self._flusher(frame, now)
+        if frame.dirty:
+            frame.dirty = False
+            self._dirty_count -= 1
+        return kind, latency
+
+    def clean(self, now: float) -> int:
+        """Run the background cleaner if the dirty threshold is crossed.
+
+        Flushes the coldest dirty unpinned frames (they stay resident,
+        now clean) until the pool is back under the threshold.  Returns
+        the number of pages flushed.  Cleaner writes are asynchronous:
+        they occupy the device but do not stall the caller.
+        """
+        if self.dirty_fraction <= self.dirty_threshold:
+            return 0
+        target = max(0, int(self.capacity * self.dirty_threshold) - 1)
+        flushed = 0
+        for frame in list(self._frames.values()):
+            if self._dirty_count <= target:
+                break
+            if frame.dirty and frame.pin_count == 0:
+                self._flush_frame(frame, now)
+                self.stats.cleaner_flushes += 1
+                flushed += 1
+        return flushed
+
+    def flush_all(self, now: float) -> int:
+        """Checkpoint: write back every dirty frame (they stay resident)."""
+        flushed = 0
+        for frame in list(self._frames.values()):
+            if frame.dirty:
+                self._flush_frame(frame, now)
+                self.stats.checkpoint_flushes += 1
+                flushed += 1
+        return flushed
+
+    def drop_all(self) -> None:
+        """Discard the entire pool without flushing (crash simulation)."""
+        self._frames.clear()
+        self._dirty_count = 0
+
+    def resize(self, capacity: int, now: float = 0.0) -> None:
+        """Change the pool size, evicting LRU frames if shrinking.
+
+        Buffer-fraction experiments size the pool relative to the
+        *loaded* database (the paper's "buffer = X% of the initial
+        DB-size"), which is only known after the load phase — so the
+        driver loads with a roomy pool and resizes before measuring.
+        """
+        if capacity < 1:
+            raise BufferError_("buffer pool needs at least one frame")
+        self.capacity = capacity
+        while len(self._frames) > capacity:
+            before = len(self._frames)
+            self._make_room(now)
+            if len(self._frames) == before:  # pragma: no cover
+                raise BufferError_("cannot shrink: frames pinned")

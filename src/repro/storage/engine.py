@@ -1,0 +1,396 @@
+"""The storage engine: Shore-MT-shaped, NoFTL-backed, IPA-aware.
+
+:class:`StorageEngine` wires together the buffer pool, the write-ahead
+log, the transaction manager, heap tables, and the
+:class:`~repro.core.manager.IPAManager` that decides how dirty pages
+are materialized on flash.
+
+The engine also owns the simulated clock (microseconds).  Foreground
+work advances it: CPU cost per record operation, read latency on fetch
+misses, and log forces on commit.  Background flushes (cleaner,
+checkpoints, evictions) do *not* advance the clock but occupy the flash
+chips, so subsequent foreground reads observe the contention — the
+mechanism behind the paper's latency results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.manager import IPAManager
+from ..core.scheme import NxMScheme, SCHEME_OFF
+from ..errors import StorageError, TransactionError
+from ..ftl.noftl import NoFTL
+from ..ftl.region import Region
+from .buffer import BufferPool, Frame
+from .heap import RID, Table
+from .page_layout import SlottedPage
+from .schema import Schema
+from .txn import Transaction, TransactionManager
+from .wal import LogKind, LogManager
+
+
+@dataclass
+class EngineConfig:
+    """Tunables of one engine instance.
+
+    ``eviction`` selects the paper's two Shore-MT configurations:
+    ``"eager"`` (dirty threshold 12.5%, log reclaim at 25%) or
+    ``"non-eager"`` (75% / 100%), see Section 8.4 and Tables 9/10.
+    """
+
+    buffer_pages: int = 256
+    scheme: NxMScheme = SCHEME_OFF
+    eviction: str = "eager"
+    log_capacity_bytes: int = 16 * 1024 * 1024
+    cpu_cost_us: float = 5.0
+    log_force_latency_us: float = 50.0
+    retain_log: bool = False
+    ecc: bool = False
+    #: Stamp an InnoDB-style page checksum on every flush (MySQL
+    #: emulation; Shore-MT has none, so the default is off).
+    page_checksum: bool = False
+
+    @property
+    def dirty_threshold(self) -> float:
+        return 0.125 if self.eviction == "eager" else 0.75
+
+    @property
+    def log_reclaim_fraction(self) -> float:
+        return 0.25 if self.eviction == "eager" else 1.0
+
+    def __post_init__(self) -> None:
+        if self.eviction not in ("eager", "non-eager"):
+            raise StorageError(f"unknown eviction strategy {self.eviction!r}")
+
+
+class StorageEngine:
+    """ACID storage engine over a NoFTL flash device."""
+
+    def __init__(self, device: NoFTL, config: EngineConfig | None = None) -> None:
+        self.device = device
+        self.config = config if config is not None else EngineConfig()
+        self.clock = 0.0
+        #: Observers: fetch_observer(lpn), flush events flow through the
+        #: IPA manager's observer (set via ``flush_observer``).
+        self.fetch_observer: Callable[[int], None] | None = None
+        self._flush_observers: list = []
+        self.ipa = IPAManager(
+            device,
+            self.config.scheme,
+            ecc_enabled=self.config.ecc,
+            flush_observer=self._notify_flush,
+            page_checksum=self.config.page_checksum,
+        )
+        self.pool = BufferPool(
+            self.config.buffer_pages,
+            loader=self._load,
+            flusher=self._flush,
+            dirty_threshold=self.config.dirty_threshold,
+        )
+        self.log = LogManager(
+            capacity_bytes=self.config.log_capacity_bytes,
+            retain=self.config.retain_log,
+            force_latency_us=self.config.log_force_latency_us,
+        )
+        self.txns = TransactionManager()
+        self.tables: dict[str, Table] = {}
+        self._page_table: dict[int, Table] = {}
+        self._region_cursors: dict[str, int] = {
+            region.name: region.lpn_start for region in device.regions
+        }
+        self.checkpoints = 0
+        self.foreground_read_time_us = 0.0
+        self.foreground_reads = 0
+        self._page_free_space_hint: int | None = None
+
+    # ------------------------------------------------------------------
+    # Observers
+    # ------------------------------------------------------------------
+
+    def add_flush_observer(self, observer) -> None:
+        """Register a callback ``(lpn, kind, net, gross, overflowed)``."""
+        self._flush_observers.append(observer)
+
+    def _notify_flush(self, lpn: int, kind: str, net: int, gross: int, overflowed: bool) -> None:
+        for observer in self._flush_observers:
+            observer(lpn, kind, net, gross, overflowed)
+
+    # ------------------------------------------------------------------
+    # Catalog
+    # ------------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        schema: Schema,
+        key: list[str] | None = None,
+        region: str | None = None,
+    ) -> Table:
+        """Create a heap table, optionally placed into a NoFTL region."""
+        if name in self.tables:
+            raise StorageError(f"table {name!r} already exists")
+        table = Table(self, name, schema, key=key)
+        table.region = (
+            self.device.region_named(region) if region else self.device.regions[0]
+        )
+        self.tables[name] = table
+        return table
+
+    def create_index(
+        self,
+        name: str,
+        table_name: str,
+        columns: list[str],
+        region: str | None = None,
+    ) -> "TableIndex":
+        """Create a secondary B+-tree index over existing table columns.
+
+        The index is built from a scan and then maintained on every
+        mutation, including rollback; after a crash, recovery rebuilds
+        it (index node pages are not WAL-logged — the standard
+        non-logged-index-build trade-off).
+        """
+        from .secondary import TableIndex
+
+        if table_name not in self.tables:
+            raise StorageError(f"no table named {table_name!r}")
+        table = self.tables[table_name]
+        index = TableIndex(self, name, table, columns, region=region)
+        for rid, values in table.scan():
+            index.note_insert(values, rid)
+        table.secondary_indexes.append(index)
+        return index
+
+    @property
+    def page_size(self) -> int:
+        return self.device.page_size
+
+    @property
+    def page_free_space_hint(self) -> int:
+        """Free space of a freshly formatted page (for space planning)."""
+        if self._page_free_space_hint is None:
+            scratch = SlottedPage.format(
+                0, self.page_size, self.config.scheme.area_size
+            )
+            self._page_free_space_hint = scratch.free_space
+        return self._page_free_space_hint
+
+    # ------------------------------------------------------------------
+    # Page access (used by Table)
+    # ------------------------------------------------------------------
+
+    def pin(self, lpn: int) -> Frame:
+        """Fetch and pin a page; foreground read latency hits the clock."""
+        frame, latency = self.pool.fetch(lpn, self.clock)
+        if latency:
+            self.clock += latency
+            self.foreground_read_time_us += latency
+            self.foreground_reads += 1
+        return frame
+
+    def unpin(self, lpn: int, dirty: bool) -> None:
+        """Release a pin taken via :meth:`pin`."""
+        self.pool.unpin(lpn, dirty)
+
+    def allocate_page(self, table: Table) -> int:
+        """Allocate and format the next page of a table's region.
+
+        Selective IPA (the paper's contribution II): pages of objects
+        placed in a non-IPA region reserve **no** delta area — the
+        space cost is only paid where appends can happen.
+        """
+        from ..ftl.region import IPAMode
+
+        region: Region = table.region
+        cursor = self._region_cursors[region.name]
+        if cursor >= region.lpn_end:
+            raise StorageError(
+                f"region {region.name!r} is full ({region.config.logical_pages} pages)"
+            )
+        self._region_cursors[region.name] = cursor + 1
+        delta_size = (
+            self.config.scheme.area_size
+            if region.ipa_mode is not IPAMode.NONE
+            else 0
+        )
+        page = SlottedPage.format(cursor, self.page_size, delta_size)
+        self.pool.put_new(cursor, page, self.clock)
+        self.pool.unpin(cursor, dirty=True)
+        self._page_table[cursor] = table
+        return cursor
+
+    def charge_cpu(self) -> None:
+        """Advance the clock by one record-operation CPU cost."""
+        self.clock += self.config.cpu_cost_us
+
+    def _load(self, lpn: int, now: float):
+        if self.fetch_observer is not None:
+            self.fetch_observer(lpn)
+        image, slots_used, latency = self.ipa.load(lpn, now)
+        return SlottedPage(image), slots_used, latency
+
+    def _flush(self, frame: Frame, now: float):
+        return self.ipa.flush(frame, now)
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        """Start a transaction."""
+        return self.txns.begin(self.log.next_lsn, self.clock)
+
+    def commit(self, txn: Transaction) -> None:
+        """Commit: append + force the log, then run maintenance."""
+        txn.require_active()
+        self.log.append(txn.txn_id, LogKind.COMMIT)
+        self.clock += self.log.force()
+        self.txns.finish_commit(txn, self.clock)
+        self.maintenance()
+
+    def abort(self, txn: Transaction) -> None:
+        """Roll back a transaction by applying its log records' inverses."""
+        txn.require_active()
+        for record in reversed(txn.undo):
+            self._apply_inverse(record)
+        self.log.append(txn.txn_id, LogKind.ABORT)
+        self.txns.finish_abort(txn, self.clock)
+        self.maintenance()
+
+    def _apply_inverse(self, record) -> None:
+        """Undo one log record, writing a compensation record."""
+        frame = self.pin(record.lpn)
+        page = frame.page
+        table = self._page_table.get(record.lpn)
+        rid = RID(record.lpn, record.slot)
+        has_secondary = table is not None and getattr(table, "secondary_indexes", None)
+        try:
+            if record.kind is LogKind.UPDATE:
+                before = (
+                    table.schema.unpack(page.read_record(record.slot))
+                    if has_secondary else None
+                )
+                compensation = tuple(
+                    (offset, new, old) for offset, old, new in record.payload
+                )
+                for offset, __, old in compensation:
+                    page.write_bytes(offset, old)
+                clr = self.log.append(
+                    record.txn_id, LogKind.UPDATE, record.lpn, record.slot, compensation
+                )
+                if has_secondary:
+                    after = table.schema.unpack(page.read_record(record.slot))
+                    for secondary in table.secondary_indexes:
+                        secondary.note_update(before, after, rid)
+            elif record.kind is LogKind.INSERT:
+                if table is not None and (table.index is not None or has_secondary):
+                    values = table.schema.unpack(page.read_record(record.slot))
+                    if table.index is not None:
+                        table.index.pop(table.key_of(values), None)
+                    for secondary in table.secondary_indexes:
+                        secondary.note_delete(values, rid)
+                offset, length = page.record_extent(record.slot)
+                page.delete_record(record.slot)
+                clr = self.log.append(
+                    record.txn_id, LogKind.DELETE, record.lpn, record.slot,
+                    (offset, length),
+                )
+                if table is not None:
+                    table.row_count -= 1
+            elif record.kind is LogKind.DELETE:
+                offset, length = record.payload
+                # The compensation must replay as exactly what happens
+                # here — a slot-entry restoration — so it is logged as a
+                # byte patch.  (An INSERT-style CLR would redo at the
+                # heap's free pointer, moving the record to a different
+                # offset than the original timeline and invalidating
+                # later UPDATE records' absolute offsets.)
+                entry_offset, old_entry = page.slot_entry_extent(record.slot)
+                page.restore_slot(record.slot, offset, length)
+                __, new_entry = page.slot_entry_extent(record.slot)
+                restored = page.read_record(record.slot)
+                clr = self.log.append(
+                    record.txn_id, LogKind.UPDATE, record.lpn, record.slot,
+                    ((entry_offset, old_entry, new_entry),),
+                )
+                if table is not None:
+                    table.row_count += 1
+                    if table.index is not None or has_secondary:
+                        values = table.schema.unpack(restored)
+                        if table.index is not None:
+                            table.index[table.key_of(values)] = rid
+                        for secondary in table.secondary_indexes:
+                            secondary.note_insert(values, rid)
+            elif record.kind is LogKind.REPLACE:
+                old_record, new_record = record.payload
+                page.replace_record(record.slot, old_record)
+                clr = self.log.append(
+                    record.txn_id, LogKind.REPLACE, record.lpn, record.slot,
+                    (new_record, old_record),
+                )
+                if has_secondary:
+                    for secondary in table.secondary_indexes:
+                        secondary.note_update(
+                            table.schema.unpack(new_record),
+                            table.schema.unpack(old_record),
+                            rid,
+                        )
+            else:
+                raise TransactionError(f"cannot undo a {record.kind.value} record")
+            page.set_lsn(clr.lsn)
+        finally:
+            self.unpin(record.lpn, dirty=True)
+
+    # ------------------------------------------------------------------
+    # Maintenance: cleaner + log-space reclamation
+    # ------------------------------------------------------------------
+
+    def maintenance(self) -> None:
+        """Run after each transaction: background cleaning, checkpoints."""
+        self.pool.clean(self.clock)
+        if self.log.space_consumed_fraction() >= self.config.log_reclaim_fraction:
+            self.checkpoint()
+
+    def checkpoint(self) -> int:
+        """Flush every dirty page and reclaim log space."""
+        flushed = self.pool.flush_all(self.clock)
+        self.log.note_checkpoint()
+        self.checkpoints += 1
+        return flushed
+
+    def flush_all(self) -> int:
+        """Force all dirty pages out (shutdown path)."""
+        return self.pool.flush_all(self.clock)
+
+    # ------------------------------------------------------------------
+    # Crash / restart
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Simulate a failure: lose the buffer pool, keep flash and log."""
+        self.pool.drop_all()
+        self.txns.active.clear()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    @property
+    def mean_foreground_read_us(self) -> float:
+        if self.foreground_reads == 0:
+            return 0.0
+        return self.foreground_read_time_us / self.foreground_reads
+
+    def stats_summary(self) -> dict:
+        """One dict with the headline numbers of a run."""
+        return {
+            "clock_us": self.clock,
+            "committed": self.txns.committed,
+            "aborted": self.txns.aborted,
+            "checkpoints": self.checkpoints,
+            "buffer": self.pool.stats.__dict__ | {"hit_ratio": self.pool.stats.hit_ratio},
+            "device": self.device.stats.snapshot(),
+            "ipa": self.ipa.stats.snapshot(),
+        }

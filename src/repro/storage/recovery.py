@@ -1,0 +1,114 @@
+"""Restart recovery: repeat history, then roll back losers.
+
+A compact ARIES-style restart (analysis / redo / undo) over the
+retained write-ahead log:
+
+* **Analysis** — partition transactions into winners (a ``COMMIT`` or
+  ``ABORT`` record exists; aborted transactions already logged their
+  compensations) and losers (in flight at the crash).
+* **Redo** — repeat history: every page-modifying record is re-applied
+  unless the page's ``PageLSN`` shows the effect already reached flash.
+  Pages whose first materialization never happened are re-formatted.
+* **Undo** — losers' records are inverted newest-first through the same
+  compensation path the online abort uses.
+
+IPA interacts with recovery exactly as Section 6.2 describes: a page
+whose last materialization was a delta append is simply read back (the
+manager applies the deltas during the load), and the undo writes are
+tracked like any other change — given delta-area budget they will
+themselves be flushed as In-Place Appends.
+
+Scope notes (documented simplifications): the catalog (table
+definitions, page ownership) is assumed to survive, as are checkpoints'
+dirty-page tables; CLRs are regular compensation records without
+undo-next pointers, so recovery must not crash *during* undo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import StorageError
+from .engine import StorageEngine
+from .page_layout import SlottedPage
+from .wal import LogKind, LogRecord
+
+_PAGE_KINDS = (LogKind.UPDATE, LogKind.REPLACE, LogKind.INSERT, LogKind.DELETE)
+
+
+@dataclass
+class RecoveryReport:
+    """What one restart pass did."""
+
+    analyzed_records: int = 0
+    winners: int = 0
+    losers: int = 0
+    redone: int = 0
+    skipped_by_lsn: int = 0
+    undone: int = 0
+
+
+def recover(engine: StorageEngine) -> RecoveryReport:
+    """Run restart recovery on a crashed engine; returns a report."""
+    if not engine.log.retain:
+        raise StorageError("recovery requires a retained log (retain_log=True)")
+    records = engine.log.records
+    report = RecoveryReport(analyzed_records=len(records))
+
+    finished: set[int] = set()
+    seen: dict[int, list[LogRecord]] = {}
+    for record in records:
+        if record.kind in (LogKind.COMMIT, LogKind.ABORT):
+            finished.add(record.txn_id)
+        elif record.kind in _PAGE_KINDS and record.txn_id != 0:
+            seen.setdefault(record.txn_id, []).append(record)
+    losers = {txn_id: recs for txn_id, recs in seen.items() if txn_id not in finished}
+    report.winners = len(seen) - len(losers)
+    report.losers = len(losers)
+
+    for record in records:
+        if record.kind in _PAGE_KINDS:
+            if _redo(engine, record):
+                report.redone += 1
+            else:
+                report.skipped_by_lsn += 1
+
+    for txn_id in sorted(losers):
+        for record in reversed(losers[txn_id]):
+            engine._apply_inverse(record)
+            report.undone += 1
+        engine.log.append(txn_id, LogKind.ABORT)
+
+    for table in engine.tables.values():
+        table.rebuild_index()
+    engine.checkpoint()
+    return report
+
+
+def _redo(engine: StorageEngine, record: LogRecord) -> bool:
+    """Re-apply one record if its page has not seen it; True when redone."""
+    lpn = record.lpn
+    if not engine.device.is_mapped(lpn) and lpn not in engine.pool:
+        # The page never reached flash: recreate it empty and replay.
+        page = SlottedPage.format(lpn, engine.page_size, engine.config.scheme.area_size)
+        engine.pool.put_new(lpn, page, engine.clock)
+        engine.pool.unpin(lpn, dirty=True)
+    frame = engine.pin(lpn)
+    page = frame.page
+    try:
+        if page.lsn >= record.lsn:
+            return False
+        if record.kind is LogKind.UPDATE:
+            for offset, __, new in record.payload:
+                page.write_bytes(offset, new)
+        elif record.kind is LogKind.REPLACE:
+            __, new_record = record.payload
+            page.replace_record(record.slot, new_record)
+        elif record.kind is LogKind.INSERT:
+            page.redo_insert(record.slot, record.payload[0])
+        elif record.kind is LogKind.DELETE:
+            page.delete_record(record.slot)
+        page.set_lsn(record.lsn)
+        return True
+    finally:
+        engine.unpin(lpn, dirty=True)

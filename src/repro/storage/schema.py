@@ -1,0 +1,206 @@
+"""Table schemas and record (de)serialization.
+
+Records follow the classic NSM encoding: all fixed-length columns are
+packed first at schema-determined offsets, then each variable-length
+column as a 2-byte length prefix plus payload.  Fixed-column updates
+can therefore patch bytes in place at a statically known offset — the
+access path that makes byte-granular change tracking (and hence IPA)
+effective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SchemaError
+
+
+class ColumnType:
+    """Base class of column types; subclasses define packing."""
+
+    #: Fixed byte width, or None for variable-length types.
+    size: int | None = None
+
+    def pack(self, value) -> bytes:
+        """Serialize one value to its column bytes."""
+        raise NotImplementedError
+
+    def unpack(self, data: bytes):
+        """Deserialize column bytes back to a value."""
+        raise NotImplementedError
+
+
+class Int32(ColumnType):
+    """Signed 32-bit integer (the TPC ``NUMBER`` work-horse)."""
+
+    size = 4
+
+    def pack(self, value) -> bytes:
+        """Big-endian signed 32-bit encoding."""
+        try:
+            return int(value).to_bytes(4, "big", signed=True)
+        except OverflowError as exc:
+            raise SchemaError(f"{value} does not fit in Int32") from exc
+
+    def unpack(self, data: bytes) -> int:
+        """Decode a big-endian signed 32-bit value."""
+        return int.from_bytes(data, "big", signed=True)
+
+
+class Int64(ColumnType):
+    """Signed 64-bit integer (LSNs, timestamps, balances in cents)."""
+
+    size = 8
+
+    def pack(self, value) -> bytes:
+        """Big-endian signed 64-bit encoding."""
+        try:
+            return int(value).to_bytes(8, "big", signed=True)
+        except OverflowError as exc:
+            raise SchemaError(f"{value} does not fit in Int64") from exc
+
+    def unpack(self, data: bytes) -> int:
+        """Decode a big-endian signed 64-bit value."""
+        return int.from_bytes(data, "big", signed=True)
+
+
+class Char(ColumnType):
+    """Fixed-width string, space padded (TPC ``CHAR(n)``)."""
+
+    def __init__(self, width: int) -> None:
+        if width <= 0:
+            raise SchemaError("Char width must be positive")
+        self.size = width
+
+    def pack(self, value) -> bytes:
+        """Encode and space-pad to the fixed width."""
+        encoded = str(value).encode("utf-8")
+        if len(encoded) > self.size:
+            raise SchemaError(f"string of {len(encoded)} bytes exceeds Char({self.size})")
+        return encoded.ljust(self.size, b" ")
+
+    def unpack(self, data: bytes) -> str:
+        """Decode, stripping the space padding."""
+        return data.rstrip(b" ").decode("utf-8")
+
+
+class VarChar(ColumnType):
+    """Variable-length string/bytes with a 2-byte length prefix."""
+
+    size = None
+
+    def __init__(self, max_length: int = 4096) -> None:
+        self.max_length = max_length
+
+    def pack(self, value) -> bytes:
+        """Length-prefixed encoding of bytes or text."""
+        encoded = value if isinstance(value, bytes) else str(value).encode("utf-8")
+        if len(encoded) > self.max_length:
+            raise SchemaError(
+                f"value of {len(encoded)} bytes exceeds VarChar({self.max_length})"
+            )
+        return len(encoded).to_bytes(2, "big") + encoded
+
+    def unpack(self, data: bytes) -> bytes:
+        """The raw payload (length prefix already stripped)."""
+        return bytes(data)
+
+
+@dataclass(frozen=True)
+class Column:
+    name: str
+    type: ColumnType
+
+
+class Schema:
+    """An ordered list of named, typed columns."""
+
+    def __init__(self, columns: list[Column]) -> None:
+        if not columns:
+            raise SchemaError("a schema needs at least one column")
+        names = [column.name for column in columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in {names}")
+        self.columns = list(columns)
+        self._index = {column.name: i for i, column in enumerate(columns)}
+        self._fixed_offsets: list[int | None] = []
+        cursor = 0
+        for column in columns:
+            if column.type.size is None:
+                self._fixed_offsets.append(None)
+            else:
+                self._fixed_offsets.append(cursor)
+                cursor += column.type.size
+        self.fixed_size = cursor
+        self._var_indexes = [
+            i for i, column in enumerate(columns) if column.type.size is None
+        ]
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def column_index(self, name: str) -> int:
+        """Position of a column by name."""
+        try:
+            return self._index[name]
+        except KeyError as exc:
+            raise SchemaError(f"no column named {name!r}") from exc
+
+    def is_fixed(self, index: int) -> bool:
+        """Whether the column at ``index`` has a fixed width."""
+        return self._fixed_offsets[index] is not None
+
+    def fixed_offset(self, index: int) -> int:
+        """Record offset of a fixed column; raises for variable columns."""
+        offset = self._fixed_offsets[index]
+        if offset is None:
+            raise SchemaError(
+                f"column {self.columns[index].name!r} is variable-length"
+            )
+        return offset
+
+    def pack(self, values) -> bytes:
+        """Serialize one record from a value sequence (schema order)."""
+        if len(values) != len(self.columns):
+            raise SchemaError(
+                f"{len(values)} values for {len(self.columns)} columns"
+            )
+        fixed = bytearray()
+        var = bytearray()
+        for column, value in zip(self.columns, values):
+            packed = column.type.pack(value)
+            if column.type.size is None:
+                var += packed
+            else:
+                fixed += packed
+        return bytes(fixed) + bytes(var)
+
+    def unpack(self, data: bytes):
+        """Deserialize one record into a value tuple."""
+        values: list = [None] * len(self.columns)
+        for i, column in enumerate(self.columns):
+            if column.type.size is not None:
+                offset = self._fixed_offsets[i]
+                values[i] = column.type.unpack(data[offset : offset + column.type.size])
+        cursor = self.fixed_size
+        for i in self._var_indexes:
+            length = int.from_bytes(data[cursor : cursor + 2], "big")
+            values[i] = self.columns[i].type.unpack(data[cursor + 2 : cursor + 2 + length])
+            cursor += 2 + length
+        return tuple(values)
+
+    def var_field_slice(self, data: bytes, index: int) -> tuple[int, int]:
+        """``(payload_offset, payload_length)`` of a variable column."""
+        if self.is_fixed(index):
+            raise SchemaError("var_field_slice on a fixed column")
+        cursor = self.fixed_size
+        for i in self._var_indexes:
+            length = int.from_bytes(data[cursor : cursor + 2], "big")
+            if i == index:
+                return cursor + 2, length
+            cursor += 2 + length
+        raise SchemaError("variable column not found")  # pragma: no cover
+
+    def record_size(self, values) -> int:
+        """Serialized size of one record."""
+        return len(self.pack(values))

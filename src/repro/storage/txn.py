@@ -1,0 +1,95 @@
+"""Transactions: begin/commit/abort with WAL-backed undo.
+
+The engine follows Shore-MT's steal/no-force buffer policy: dirty pages
+of uncommitted transactions may be flushed (stolen) at any time — under
+IPA they may even be materialized as delta appends, see the rollback
+walk-through in Section 6.2 — and commits only force the log, never the
+data pages.  Rollback therefore replays the transaction's undo images
+through the regular page-update path, which tracks the reverted bytes
+like any other change.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..errors import TransactionError
+
+
+class TxnState(Enum):
+    """Lifecycle state of a transaction."""
+
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """One transaction: identity, state, and its undo chain."""
+
+    __slots__ = ("txn_id", "state", "undo", "begin_lsn", "start_time_us", "end_time_us")
+
+    def __init__(self, txn_id: int, begin_lsn: int, start_time_us: float) -> None:
+        self.txn_id = txn_id
+        self.state = TxnState.ACTIVE
+        #: The transaction's own log records, oldest first; abort walks
+        #: them backwards applying each record's inverse.
+        self.undo: list = []
+        self.begin_lsn = begin_lsn
+        self.start_time_us = start_time_us
+        self.end_time_us: float | None = None
+
+    @property
+    def is_active(self) -> bool:
+        return self.state is TxnState.ACTIVE
+
+    def require_active(self) -> None:
+        """Raise unless the transaction can still do work."""
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionError(
+                f"transaction {self.txn_id} is {self.state.value}, not active"
+            )
+
+    def note_undo(self, record) -> None:
+        """Chain one of this transaction's log records for rollback."""
+        self.require_active()
+        self.undo.append(record)
+
+    @property
+    def response_time_us(self) -> float | None:
+        if self.end_time_us is None:
+            return None
+        return self.end_time_us - self.start_time_us
+
+
+class TransactionManager:
+    """Hands out transaction ids and tracks the active set."""
+
+    def __init__(self) -> None:
+        self._next_id = 1
+        self.active: dict[int, Transaction] = {}
+        self.committed = 0
+        self.aborted = 0
+
+    def begin(self, begin_lsn: int, now_us: float) -> Transaction:
+        """Create and register a new active transaction."""
+        txn = Transaction(self._next_id, begin_lsn, now_us)
+        self._next_id += 1
+        self.active[txn.txn_id] = txn
+        return txn
+
+    def finish_commit(self, txn: Transaction, now_us: float) -> None:
+        """Mark a transaction committed and retire it."""
+        txn.require_active()
+        txn.state = TxnState.COMMITTED
+        txn.end_time_us = now_us
+        del self.active[txn.txn_id]
+        self.committed += 1
+
+    def finish_abort(self, txn: Transaction, now_us: float) -> None:
+        """Mark a transaction aborted and retire it."""
+        txn.require_active()
+        txn.state = TxnState.ABORTED
+        txn.end_time_us = now_us
+        del self.active[txn.txn_id]
+        self.aborted += 1

@@ -1,0 +1,146 @@
+"""Testbed factories: the paper's two evaluation platforms, in one place.
+
+* :func:`emulator_device` — the real-time flash emulator of Section 8.1:
+  16 SLC chips, 10% over-provisioning, page-level mapping, full chip
+  parallelism.
+* :func:`openssd_device` — the OpenSSD Jasmine board: MLC flash, one
+  host command at a time (no NCQ, Appendix D), regions in ``pSLC`` or
+  ``odd-MLC`` mode.
+* :func:`build_engine` / :func:`load_scaled` — engine construction and
+  the buffer-fraction protocol every benchmark table uses ("buffer size
+  X% of the initial DB-size").
+"""
+
+from __future__ import annotations
+
+import math
+
+from .core.scheme import NxMScheme, SCHEME_OFF
+from .flash.constants import CellType
+from .flash.geometry import FlashGeometry
+from .flash.memory import FlashMemory
+from .ftl.noftl import NoFTL, single_region_device
+from .ftl.region import IPAMode
+from .storage.engine import EngineConfig, StorageEngine
+from .workloads.base import Driver, Workload
+
+
+def _geometry_for(
+    logical_pages: int,
+    chips: int,
+    page_size: int,
+    pages_per_block: int,
+    cell_type: CellType,
+    overprovisioning: float,
+    pslc: bool,
+) -> FlashGeometry:
+    """Smallest geometry hosting ``logical_pages`` plus OP and GC reserve."""
+    usable_per_block = math.ceil(pages_per_block / 2) if pslc else pages_per_block
+    physical_pages = math.ceil(logical_pages * (1.0 + overprovisioning))
+    blocks = math.ceil(physical_pages / usable_per_block) + 2 * chips + chips
+    blocks_per_chip = math.ceil(blocks / chips)
+    return FlashGeometry(
+        chips=chips,
+        blocks_per_chip=blocks_per_chip,
+        pages_per_block=pages_per_block,
+        page_size=page_size,
+        oob_size=128,
+        cell_type=cell_type,
+    )
+
+
+def emulator_device(
+    logical_pages: int,
+    ipa_capable: bool = True,
+    chips: int = 16,
+    page_size: int = 4096,
+    pages_per_block: int = 64,
+    overprovisioning: float = 0.10,
+) -> NoFTL:
+    """The Section 8.1 flash emulator: 16 SLC chips, 10% OP."""
+    geometry = _geometry_for(
+        logical_pages, chips, page_size, pages_per_block,
+        CellType.SLC, overprovisioning, pslc=False,
+    )
+    mode = IPAMode.NATIVE if ipa_capable else IPAMode.NONE
+    return single_region_device(
+        FlashMemory(geometry),
+        logical_pages=logical_pages,
+        ipa_mode=mode,
+        overprovisioning=overprovisioning,
+    )
+
+
+def openssd_device(
+    logical_pages: int,
+    mode: IPAMode = IPAMode.ODD_MLC,
+    chips: int = 8,
+    page_size: int = 4096,
+    pages_per_block: int = 64,
+    overprovisioning: float = 0.10,
+) -> NoFTL:
+    """The OpenSSD Jasmine board: MLC flash, serialized host I/O."""
+    geometry = _geometry_for(
+        logical_pages, chips, page_size, pages_per_block,
+        CellType.MLC, overprovisioning, pslc=(mode is IPAMode.PSLC),
+    )
+    return single_region_device(
+        FlashMemory(geometry),
+        logical_pages=logical_pages,
+        ipa_mode=mode,
+        overprovisioning=overprovisioning,
+        serialize_io=True,
+    )
+
+
+def build_engine(
+    device: NoFTL,
+    scheme: NxMScheme = SCHEME_OFF,
+    buffer_pages: int | None = None,
+    eviction: str = "eager",
+    **config_kwargs,
+) -> StorageEngine:
+    """An engine over ``device``; buffer defaults to half the device."""
+    if buffer_pages is None:
+        buffer_pages = max(8, device.logical_pages // 2)
+    config = EngineConfig(
+        buffer_pages=buffer_pages,
+        scheme=scheme,
+        eviction=eviction,
+        **config_kwargs,
+    )
+    return StorageEngine(device, config)
+
+
+def load_scaled(
+    engine: StorageEngine,
+    workload: Workload,
+    buffer_fraction: float,
+    seed: int = 7,
+    min_buffer_pages: int = 8,
+) -> Driver:
+    """Load a workload, then size the buffer to a fraction of the DB.
+
+    Implements the paper's measurement protocol: databases are loaded
+    first, then the DBMS buffer is set to ``buffer_fraction`` of the
+    *initial* DB size (Section 8.2's 10%-90% sweeps).
+    """
+    driver = Driver(engine, workload, seed=seed)
+    driver.load()
+    loaded_pages = sum(
+        engine._region_cursors[region.name] - region.lpn_start
+        for region in engine.device.regions
+    )
+    target = max(min_buffer_pages, int(loaded_pages * buffer_fraction))
+    engine.pool.resize(target, engine.clock)
+    engine.flush_all()
+    driver._reset_measurements()
+    return driver
+
+
+def loaded_db_pages(engine: StorageEngine) -> int:
+    """Pages allocated by the load phase across all regions."""
+    return sum(
+        engine._region_cursors[region.name] - region.lpn_start
+        for region in engine.device.regions
+    )

@@ -1,0 +1,119 @@
+"""Workload abstractions and the benchmark driver.
+
+A :class:`Workload` knows how to create its schema, load initial data,
+and execute one transaction against a
+:class:`~repro.storage.engine.StorageEngine`.  The :class:`Driver` runs
+a workload for a fixed number of transactions and collects the run's
+result: simulated throughput, per-transaction-type response times, and
+the engine/device/IPA counter snapshots every benchmark table is built
+from.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..errors import WorkloadError
+from ..storage.engine import StorageEngine
+
+
+class Workload:
+    """Base class: subclass and implement ``setup`` and ``transaction``."""
+
+    name = "workload"
+
+    def setup(self, engine: StorageEngine, rng: random.Random) -> None:
+        """Create tables and load the initial database."""
+        raise NotImplementedError
+
+    def transaction(self, engine: StorageEngine, rng: random.Random) -> str:
+        """Run one transaction (begin/commit inside); returns its type."""
+        raise NotImplementedError
+
+
+@dataclass
+class RunResult:
+    """Everything a benchmark needs from one measured run."""
+
+    workload: str
+    transactions: int
+    sim_seconds: float
+    #: Committed transactions per simulated second.
+    throughput_tps: float
+    #: type -> mean response time in milliseconds (simulated).
+    response_time_ms: dict = field(default_factory=dict)
+    #: type -> executed count.
+    mix: dict = field(default_factory=dict)
+    engine_summary: dict = field(default_factory=dict)
+
+    @property
+    def device(self) -> dict:
+        return self.engine_summary.get("device", {})
+
+    @property
+    def ipa(self) -> dict:
+        return self.engine_summary.get("ipa", {})
+
+
+class Driver:
+    """Loads a workload and runs a measured transaction stream."""
+
+    def __init__(self, engine: StorageEngine, workload: Workload, seed: int = 7) -> None:
+        self.engine = engine
+        self.workload = workload
+        self.seed = seed
+        self._loaded = False
+
+    def load(self) -> None:
+        """Populate the database and flush it to a clean steady state."""
+        rng = random.Random(self.seed)
+        self.workload.setup(self.engine, rng)
+        self.engine.flush_all()
+        self._reset_measurements()
+        self._loaded = True
+
+    def _reset_measurements(self) -> None:
+        """Zero out the counters so measurement excludes the load phase."""
+        engine = self.engine
+        engine.device.stats.__init__()
+        engine.ipa.stats.__init__()
+        engine.pool.stats.__init__()
+        engine.foreground_read_time_us = 0.0
+        engine.foreground_reads = 0
+
+    def run(self, transactions: int, warmup: int = 0) -> RunResult:
+        """Execute the transaction stream; returns the measured result."""
+        if not self._loaded:
+            raise WorkloadError("call load() before run()")
+        if transactions <= 0:
+            raise WorkloadError("transactions must be positive")
+        engine = self.engine
+        rng = random.Random(self.seed + 1)
+        for __ in range(warmup):
+            self.workload.transaction(engine, rng)
+        if warmup:
+            self._reset_measurements()
+        start_clock = engine.clock
+        committed_before = engine.txns.committed
+        response_sums: dict[str, float] = {}
+        counts: dict[str, int] = {}
+        for __ in range(transactions):
+            before = engine.clock
+            txn_type = self.workload.transaction(engine, rng)
+            elapsed_us = engine.clock - before
+            response_sums[txn_type] = response_sums.get(txn_type, 0.0) + elapsed_us
+            counts[txn_type] = counts.get(txn_type, 0) + 1
+        sim_seconds = (engine.clock - start_clock) / 1e6
+        committed = engine.txns.committed - committed_before
+        return RunResult(
+            workload=self.workload.name,
+            transactions=transactions,
+            sim_seconds=sim_seconds,
+            throughput_tps=committed / sim_seconds if sim_seconds > 0 else 0.0,
+            response_time_ms={
+                name: response_sums[name] / counts[name] / 1e3 for name in counts
+            },
+            mix=counts,
+            engine_summary=engine.stats_summary(),
+        )

@@ -1,0 +1,55 @@
+"""Random distributions used by the OLTP benchmarks.
+
+* :class:`Zipf` — the skewed access distribution of social-graph
+  workloads (LinkBench) and the generic hot/cold experiments.
+* :func:`nurand` — TPC-C's non-uniform random function NURand(A, x, y)
+  for customer and item selection (clause 2.1.6 of the spec).
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+
+class Zipf:
+    """Zipf-distributed integers in ``[0, n)`` with parameter ``theta``.
+
+    Uses an exact inverse-CDF table (O(n) setup, O(log n) sampling),
+    which is fine at the simulator's scale and keeps sampling
+    deterministic given the RNG.
+    """
+
+    def __init__(self, n: int, theta: float = 0.99) -> None:
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if theta < 0:
+            raise ValueError("theta must be non-negative")
+        self.n = n
+        self.theta = theta
+        weights = [1.0 / (rank + 1) ** theta for rank in range(n)]
+        total = sum(weights)
+        cumulative = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            cumulative.append(acc)
+        cumulative[-1] = 1.0
+        self._cdf = cumulative
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one value; rank 0 is the hottest."""
+        return bisect.bisect_left(self._cdf, rng.random())
+
+
+def nurand(rng: random.Random, a: int, x: int, y: int, c: int = 123) -> int:
+    """TPC-C NURand(A, x, y): non-uniform random integer in ``[x, y]``."""
+    return (((rng.randint(0, a) | rng.randint(x, y)) + c) % (y - x + 1)) + x
+
+
+def uniform_except(rng: random.Random, low: int, high: int, exclude: int) -> int:
+    """Uniform integer in ``[low, high]`` that is never ``exclude``."""
+    if low == high:
+        raise ValueError("empty choice")
+    value = rng.randint(low, high - 1)
+    return value + 1 if value >= exclude else value

@@ -1,0 +1,200 @@
+"""TATP: the telecom (Home Location Register) benchmark.
+
+Read-dominated (80% reads) with very small updates — the canonical
+"update a 4-byte location" workload the paper's Table 2 uses as its
+third trace source.  Implemented transactions and mix (TATP spec):
+
+==========================  =====  ======================================
+GET_SUBSCRIBER_DATA          35%   read one SUBSCRIBER row
+GET_NEW_DESTINATION          10%   read SPECIAL_FACILITY + CALL_FORWARDING
+GET_ACCESS_DATA              35%   read one ACCESS_INFO row
+UPDATE_SUBSCRIBER_DATA        2%   1-byte flag + 1 numeric field
+UPDATE_LOCATION              14%   4-byte vlr_location
+INSERT_CALL_FORWARDING        2%   insert (may conflict -> abort)
+DELETE_CALL_FORWARDING        2%   delete (may miss -> abort)
+==========================  =====  ======================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import RecordNotFoundError
+from ..storage.engine import StorageEngine
+from ..storage.schema import Char, Column, Int32, Schema
+from .base import Workload
+
+
+@dataclass
+class TATPConfig:
+    subscribers: int = 20_000
+    filler_width: int = 60
+
+
+class TATP(Workload):
+    """The seven-transaction TATP mix."""
+
+    name = "tatp"
+
+    def __init__(self, config: TATPConfig | None = None) -> None:
+        self.config = config if config is not None else TATPConfig()
+
+    def setup(self, engine: StorageEngine, rng: random.Random) -> None:
+        """Create the four TATP tables and load the subscriber base."""
+        cfg = self.config
+        self.subscriber = engine.create_table(
+            "subscriber",
+            Schema([
+                Column("s_id", Int32()),
+                Column("bit_1", Int32()),
+                Column("hex_1", Int32()),
+                Column("byte2_1", Int32()),
+                Column("msc_location", Int32()),
+                Column("vlr_location", Int32()),
+                Column("sub_nbr", Char(15)),
+                Column("s_filler", Char(cfg.filler_width)),
+            ]),
+            key=["s_id"],
+        )
+        self.access_info = engine.create_table(
+            "access_info",
+            Schema([
+                Column("ai_s_id", Int32()), Column("ai_type", Int32()),
+                Column("data1", Int32()), Column("data2", Int32()),
+                Column("data3", Char(3)), Column("data4", Char(5)),
+            ]),
+            key=["ai_s_id", "ai_type"],
+        )
+        self.special_facility = engine.create_table(
+            "special_facility",
+            Schema([
+                Column("sf_s_id", Int32()), Column("sf_type", Int32()),
+                Column("is_active", Int32()), Column("error_cntrl", Int32()),
+                Column("data_a", Int32()), Column("data_b", Char(5)),
+            ]),
+            key=["sf_s_id", "sf_type"],
+        )
+        self.call_forwarding = engine.create_table(
+            "call_forwarding",
+            Schema([
+                Column("cf_s_id", Int32()), Column("cf_sf_type", Int32()),
+                Column("start_time", Int32()), Column("end_time", Int32()),
+                Column("numberx", Char(15)),
+            ]),
+            key=["cf_s_id", "cf_sf_type", "start_time"],
+        )
+        txn = engine.begin()
+        for s in range(1, cfg.subscribers + 1):
+            self.subscriber.insert(
+                txn,
+                (s, rng.randint(0, 1), rng.randint(0, 15), rng.randint(0, 255),
+                 rng.randint(0, 2**31 - 1), rng.randint(0, 2**31 - 1),
+                 f"{s:015d}", "f"),
+            )
+            self.access_info.insert(
+                txn, (s, 1, rng.randint(0, 255), rng.randint(0, 255), "abc", "defgh")
+            )
+            self.special_facility.insert(
+                txn, (s, 1, 1, 0, rng.randint(0, 255), "zzzzz")
+            )
+        engine.commit(txn)
+
+    def _subscriber_id(self, rng: random.Random) -> int:
+        return rng.randint(1, self.config.subscribers)
+
+    def transaction(self, engine: StorageEngine, rng: random.Random) -> str:
+        """Draw one transaction from the seven-operation TATP mix."""
+        roll = rng.random()
+        if roll < 0.35:
+            return self._get_subscriber_data(engine, rng)
+        if roll < 0.45:
+            return self._get_new_destination(engine, rng)
+        if roll < 0.80:
+            return self._get_access_data(engine, rng)
+        if roll < 0.82:
+            return self._update_subscriber_data(engine, rng)
+        if roll < 0.96:
+            return self._update_location(engine, rng)
+        if roll < 0.98:
+            return self._insert_call_forwarding(engine, rng)
+        return self._delete_call_forwarding(engine, rng)
+
+    def _get_subscriber_data(self, engine, rng) -> str:
+        txn = engine.begin()
+        self.subscriber.read(self.subscriber.lookup(self._subscriber_id(rng)))
+        engine.commit(txn)
+        return "get_subscriber_data"
+
+    def _get_new_destination(self, engine, rng) -> str:
+        s = self._subscriber_id(rng)
+        txn = engine.begin()
+        try:
+            self.special_facility.read(self.special_facility.lookup(s, 1))
+            self.call_forwarding.read(self.call_forwarding.lookup(s, 1, 0))
+        except RecordNotFoundError:
+            pass  # valid TATP outcome: ~70% of these find no forwarding
+        engine.commit(txn)
+        return "get_new_destination"
+
+    def _get_access_data(self, engine, rng) -> str:
+        txn = engine.begin()
+        try:
+            self.access_info.read(self.access_info.lookup(self._subscriber_id(rng), 1))
+        except RecordNotFoundError:
+            pass
+        engine.commit(txn)
+        return "get_access_data"
+
+    def _update_subscriber_data(self, engine, rng) -> str:
+        s = self._subscriber_id(rng)
+        txn = engine.begin()
+        self.subscriber.update(
+            txn, self.subscriber.lookup(s), {"bit_1": rng.randint(0, 1)}
+        )
+        try:
+            sf_rid = self.special_facility.lookup(s, 1)
+            self.special_facility.update(txn, sf_rid, {"data_a": rng.randint(0, 255)})
+        except RecordNotFoundError:
+            engine.abort(txn)
+            return "update_subscriber_data_abort"
+        engine.commit(txn)
+        return "update_subscriber_data"
+
+    def _update_location(self, engine, rng) -> str:
+        s = self._subscriber_id(rng)
+        txn = engine.begin()
+        self.subscriber.update(
+            txn, self.subscriber.lookup(s),
+            {"vlr_location": rng.randint(0, 2**31 - 1)},
+        )
+        engine.commit(txn)
+        return "update_location"
+
+    def _insert_call_forwarding(self, engine, rng) -> str:
+        s = self._subscriber_id(rng)
+        start = rng.choice((0, 8, 16))
+        txn = engine.begin()
+        try:
+            self.call_forwarding.lookup(s, 1, start)
+        except RecordNotFoundError:
+            self.call_forwarding.insert(
+                txn, (s, 1, start, start + 8, f"{rng.randint(0, 10**9):015d}")
+            )
+            engine.commit(txn)
+            return "insert_call_forwarding"
+        engine.abort(txn)  # primary-key conflict: spec expects ~30% aborts
+        return "insert_call_forwarding_abort"
+
+    def _delete_call_forwarding(self, engine, rng) -> str:
+        s = self._subscriber_id(rng)
+        start = rng.choice((0, 8, 16))
+        txn = engine.begin()
+        try:
+            rid = self.call_forwarding.lookup(s, 1, start)
+        except RecordNotFoundError:
+            engine.abort(txn)
+            return "delete_call_forwarding_abort"
+        self.call_forwarding.delete(txn, rid)
+        engine.commit(txn)
+        return "delete_call_forwarding"

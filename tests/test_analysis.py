@@ -1,0 +1,161 @@
+"""Tests for the analysis package: CDFs, amplification, rendering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    CDF,
+    UpdateSizeCollector,
+    ascii_cdf,
+    db_write_amplification,
+    format_percent,
+    format_table,
+    gross_written_bytes,
+    longevity_factor,
+    percentile_at_most,
+    percentile_table,
+    relative_change,
+    value_at_percentile,
+)
+from repro.ftl.stats import DeviceStats
+
+
+class TestCollector:
+    def test_collects_update_writes_only(self):
+        collector = UpdateSizeCollector()
+        collector(0, "oop", 10, 14, False)
+        collector(1, "ipa", 3, 5, False)
+        collector(2, "new", 500, 600, False)
+        collector(3, "skip", 0, 0, False)
+        assert collector.net_sizes == [10, 3]
+        assert collector.gross_sizes == [14, 5]
+        assert collector.new_page_writes == 1
+        assert collector.skipped == 1
+        assert len(collector) == 2
+
+    def test_sizes_selector(self):
+        collector = UpdateSizeCollector()
+        collector(0, "oop", 1, 2, False)
+        assert collector.sizes() == [1]
+        assert collector.sizes(gross=True) == [2]
+
+
+class TestPercentiles:
+    def test_percentile_at_most(self):
+        samples = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]
+        assert percentile_at_most(samples, 3) == 30.0
+        assert percentile_at_most(samples, 10) == 100.0
+        assert percentile_at_most(samples, 0) == 0.0
+        assert percentile_at_most([], 5) == 0.0
+
+    def test_percentile_table(self):
+        table = percentile_table([1, 5, 9], [1, 5, 9])
+        assert table == {1: pytest.approx(100 / 3), 5: pytest.approx(200 / 3), 9: 100.0}
+
+    def test_value_at_percentile(self):
+        samples = list(range(1, 101))
+        assert value_at_percentile(samples, 50) == 51
+        assert value_at_percentile(samples, 99) == 100
+        assert value_at_percentile([], 50) == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1),
+           st.integers(min_value=0, max_value=1000))
+    def test_property_percentile_monotone(self, samples, threshold):
+        smaller = percentile_at_most(samples, threshold)
+        larger = percentile_at_most(samples, threshold + 10)
+        assert larger >= smaller
+
+
+class TestCDF:
+    def test_from_samples(self):
+        cdf = CDF.from_samples([1, 1, 2, 4])
+        assert cdf.xs == [1, 2, 4]
+        assert cdf.ys == [50.0, 75.0, 100.0]
+
+    def test_at(self):
+        cdf = CDF.from_samples([1, 1, 2, 4])
+        assert cdf.at(0) == 0.0
+        assert cdf.at(1) == 50.0
+        assert cdf.at(3) == 75.0
+        assert cdf.at(100) == 100.0
+
+    def test_empty(self):
+        cdf = CDF.from_samples([])
+        assert cdf.at(5) == 0.0
+
+    def test_points_grid(self):
+        cdf = CDF.from_samples([2, 4])
+        assert cdf.points([1, 2, 3, 4]) == [(1, 0.0), (2, 50.0), (3, 50.0), (4, 100.0)]
+
+    @given(st.lists(st.integers(min_value=0, max_value=500), min_size=1))
+    def test_property_cdf_reaches_100(self, samples):
+        cdf = CDF.from_samples(samples)
+        assert cdf.at(max(samples)) == pytest.approx(100.0)
+        assert cdf.ys == sorted(cdf.ys)
+
+
+class TestAmplification:
+    def test_db_write_amplification(self):
+        assert db_write_amplification(4096, 10) == pytest.approx(409.6)
+        assert db_write_amplification(100, 0) == 0.0
+
+    def test_gross_written_bytes(self):
+        stats = DeviceStats(host_page_writes=3, bytes_delta_written=100)
+        assert gross_written_bytes(stats, 4096) == 3 * 4096 + 100
+
+    def test_relative_change(self):
+        assert relative_change(100, 50) == -50.0
+        assert relative_change(100, 150) == 50.0
+        assert relative_change(0, 5) == 0.0
+
+    def test_longevity_factor(self):
+        assert longevity_factor(0.02, 0.01) == 2.0
+        assert longevity_factor(0.02, 0.0) == float("inf")
+        assert longevity_factor(0.0, 0.0) == 1.0
+
+
+class TestRendering:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbbb"], [[1, 2.5], [333, "x"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbbb" in lines[1]
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows equally wide
+
+    def test_format_table_numbers(self):
+        text = format_table(["n"], [[1234567], [0.123456]])
+        assert "1,234,567" in text
+        assert "0.12" in text
+
+    def test_format_percent(self):
+        assert format_percent(-12.34) == "-12.3%"
+        assert format_percent(5.0) == "+5.0%"
+        assert format_percent(5.0, signed=False) == "5.0%"
+
+    def test_ascii_cdf(self):
+        series = {"a": [(1, 10.0), (2, 100.0)], "b": [(1, 0.0), (2, 50.0)]}
+        art = ascii_cdf(series)
+        assert "a" in art and "b" in art
+        assert "#" in art
+
+    def test_ascii_cdf_empty(self):
+        assert ascii_cdf({}) == "(no data)"
+
+
+class TestWaReductionFactor:
+    def test_reduction_factor(self):
+        from repro.analysis import wa_reduction_factor
+
+        baseline = DeviceStats(host_page_writes=100)
+        ipa = DeviceStats(host_page_writes=40, delta_writes=60,
+                          bytes_delta_written=60 * 46)
+        factor = wa_reduction_factor(baseline, ipa, 4096,
+                                     baseline_net=1000, ipa_net=1000)
+        expected = (100 * 4096) / (40 * 4096 + 60 * 46)
+        assert factor == pytest.approx(expected)
+
+    def test_zero_ipa_gross(self):
+        from repro.analysis import wa_reduction_factor
+
+        assert wa_reduction_factor(DeviceStats(), DeviceStats(), 4096, 1, 1) == 0.0

@@ -1,0 +1,119 @@
+"""Tests for trace persistence and the command-line interface."""
+
+import argparse
+
+import pytest
+
+from repro.cli import build_parser, main, parse_scheme
+from repro.core import NxMScheme, SCHEME_OFF
+from repro.errors import WorkloadError
+from repro.workloads import TraceEvent, load_trace, save_trace
+
+
+class TestTraceIO:
+    def test_roundtrip(self, tmp_path):
+        events = [
+            TraceEvent("fetch", 7),
+            TraceEvent("write", 7, 4, 9, "ipa"),
+            TraceEvent("write", 8, 0, 0, "new"),
+            TraceEvent("write", 9, 100, 120, ""),
+        ]
+        path = tmp_path / "t.trace"
+        assert save_trace(events, path) == 4
+        assert load_trace(path) == events
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("something-else\nF 1\n")
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_bad_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("repro-trace-1\nX what\n")
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        save_trace([], path)
+        assert load_trace(path) == []
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("repro-trace-1\nF 1\n\nF 2\n")
+        assert len(load_trace(path)) == 2
+
+
+class TestSchemeParsing:
+    def test_nxm(self):
+        assert parse_scheme("2x4") == NxMScheme(2, 4)
+
+    def test_nxmxv(self):
+        assert parse_scheme("3x10x6") == NxMScheme(3, 10, 6)
+
+    def test_off(self):
+        assert parse_scheme("off") == SCHEME_OFF
+        assert parse_scheme("0x0") == SCHEME_OFF
+
+    def test_bad(self):
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_scheme("banana")
+
+
+class TestCLI:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "--workload", "tatp", "--txns", "10"])
+        assert args.workload == "tatp"
+        assert args.func is not None
+
+    def test_run_command(self, capsys):
+        code = main(["run", "--workload", "tpcb", "--txns", "300",
+                     "--buffer", "0.3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "IPA fraction" in out
+
+    def test_compare_command(self, capsys):
+        code = main(["compare", "--workload", "tatp", "--txns", "400",
+                     "--scheme", "2x4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[0x0]" in out and "change %" in out
+
+    def test_advise_command(self, capsys):
+        code = main(["advise", "--workload", "tpcb", "--txns", "500",
+                     "--buffer", "0.25"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "longevity" in out and "space" in out
+
+    def test_trace_record_and_replay(self, tmp_path, capsys):
+        trace = tmp_path / "x.trace"
+        assert main(["trace-record", "--workload", "tpcb", "--txns", "600",
+                     "--buffer", "0.15", "--out", str(trace)]) == 0
+        assert trace.exists()
+        assert main(["trace-replay", str(trace), "--scheme", "2x4"]) == 0
+        out = capsys.readouterr().out
+        assert "IPL" in out and "write amplification" in out
+
+    def test_replay_empty_trace_fails_cleanly(self, tmp_path, capsys):
+        trace = tmp_path / "empty.trace"
+        save_trace([TraceEvent("fetch", 0)], trace)
+        assert main(["trace-replay", str(trace)]) == 1
+
+
+class TestCLIErrors:
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_bad_scheme_argument_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--scheme", "wat"])
+
+    def test_missing_trace_file_reports_error(self, capsys):
+        with pytest.raises((SystemExit, FileNotFoundError, OSError)):
+            main(["trace-replay", "/nonexistent/file.trace"])

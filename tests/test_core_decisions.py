@@ -1,0 +1,106 @@
+"""Tests for the pure [N x M] decision replay (repro.core.decisions)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DecisionCounts, NxMScheme, SCHEME_OFF, scheme_decisions
+from repro.workloads import TraceEvent
+
+
+def write(lpn, net, gross, kind=""):
+    return TraceEvent("write", lpn, net, gross, kind)
+
+
+class TestDecisions:
+    def test_new_pages_counted_separately(self):
+        counts = scheme_decisions([write(0, 0, 0, "new")], NxMScheme(2, 4))
+        assert counts.new_pages == 1
+        assert counts.update_writes == 0
+
+    def test_fetches_ignored(self):
+        counts = scheme_decisions(
+            [TraceEvent("fetch", 0), write(0, 0, 0, "new")], NxMScheme(2, 4)
+        )
+        assert counts.new_pages == 1
+
+    def test_small_updates_append_until_slots_full(self):
+        events = [write(0, 0, 0, "new")] + [write(0, 2, 4)] * 3
+        counts = scheme_decisions(events, NxMScheme(2, 4))
+        assert counts.ipa == 2
+        assert counts.oop == 1
+        assert counts.records == 2
+
+    def test_oop_resets_slots(self):
+        events = [write(0, 0, 0, "new")] + [write(0, 2, 4)] * 6
+        counts = scheme_decisions(events, NxMScheme(2, 4))
+        # pattern: ipa ipa oop, ipa ipa oop
+        assert counts.ipa == 4
+        assert counts.oop == 2
+
+    def test_large_update_goes_oop(self):
+        events = [write(0, 0, 0, "new"), write(0, 500, 600)]
+        counts = scheme_decisions(events, NxMScheme(2, 4))
+        assert counts.ipa == 0 and counts.oop == 1
+
+    def test_zero_change_write_counts_oop(self):
+        # a flush with no tracked diff still shipped a page in the trace
+        counts = scheme_decisions([write(0, 0, 0, "new"), write(0, 0, 0)],
+                                  NxMScheme(2, 4))
+        assert counts.oop == 1
+
+    def test_scheme_off_all_oop(self):
+        events = [write(0, 0, 0, "new")] + [write(0, 1, 2)] * 5
+        counts = scheme_decisions(events, SCHEME_OFF)
+        assert counts.ipa == 0
+        assert counts.oop == 5
+
+    def test_multi_record_updates_consume_budget_faster(self):
+        # 7 net bytes need 2 records under M=4: one append then OOP.
+        events = [write(0, 0, 0, "new")] + [write(0, 7, 9)] * 2
+        counts = scheme_decisions(events, NxMScheme(2, 4))
+        assert counts.ipa == 1
+        assert counts.oop == 1
+
+    def test_independent_pages_have_independent_budgets(self):
+        events = [write(0, 0, 0, "new"), write(1, 0, 0, "new"),
+                  write(0, 2, 3), write(1, 2, 3)]
+        counts = scheme_decisions(events, NxMScheme(1, 4))
+        assert counts.ipa == 2
+
+    def test_gross_written_bytes(self):
+        scheme = NxMScheme(2, 4)
+        events = [write(0, 0, 0, "new"), write(0, 2, 4)]
+        counts = scheme_decisions(events, scheme)
+        assert counts.gross_written_bytes(4096) == 4096 + scheme.record_size
+
+    def test_wa_reduction(self):
+        scheme = NxMScheme(2, 4)
+        events = [write(0, 0, 0, "new")] + [write(0, 2, 4)] * 2
+        counts = scheme_decisions(events, scheme)
+        expected = 3 * 4096 / (4096 + 2 * scheme.record_size)
+        assert counts.wa_reduction(4096) == pytest.approx(expected)
+
+    def test_wa_reduction_empty(self):
+        assert DecisionCounts().wa_reduction(4096) == 0.0
+
+
+@settings(max_examples=60)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 20), st.integers(0, 8)),
+        min_size=1, max_size=60,
+    ),
+    st.integers(1, 3),
+    st.integers(1, 8),
+)
+def test_property_counts_are_consistent(steps, n, m):
+    """Every write is classified exactly once; IPA fraction within [0,1]."""
+    events = [write(lpn, 0, 0, "new") for lpn in range(8)]
+    events += [write(lpn, net, net + meta) for lpn, net, meta in steps]
+    scheme = NxMScheme(n, m)
+    counts = scheme_decisions(events, scheme)
+    assert counts.ipa + counts.oop == len(steps)
+    assert counts.new_pages == 8
+    assert 0.0 <= counts.ipa_fraction <= 1.0
+    assert counts.records >= counts.ipa
+    assert counts.delta_bytes == counts.records * scheme.record_size

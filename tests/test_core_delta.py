@@ -1,0 +1,205 @@
+"""Unit + property tests for the [N x M] scheme and delta-record codec."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    NxMScheme,
+    SCHEME_OFF,
+    apply_pairs,
+    decode_area,
+    decode_record,
+    encode_record,
+    split_pairs,
+)
+from repro.errors import DeltaFormatError, SchemeError
+
+
+class TestScheme:
+    def test_paper_example_2x3(self):
+        """The paper's worked example: [2x3], V=12 -> 46B records, 92B area."""
+        scheme = NxMScheme(2, 3, 12)
+        assert scheme.record_size == 46
+        assert scheme.area_size == 92
+        assert scheme.space_overhead(4096) == pytest.approx(0.0224609375)
+
+    def test_record_size_formula(self):
+        scheme = NxMScheme(3, 10, 5)
+        assert scheme.record_size == 1 + 3 * 10 + 3 * 5
+
+    def test_scheme_off(self):
+        assert not SCHEME_OFF.enabled
+        assert SCHEME_OFF.area_size == 0
+
+    def test_invalid_schemes(self):
+        with pytest.raises(SchemeError):
+            NxMScheme(-1, 3)
+        with pytest.raises(SchemeError):
+            NxMScheme(2, 0)
+        with pytest.raises(SchemeError):
+            NxMScheme(0, 5)
+
+    def test_area_offset(self):
+        scheme = NxMScheme(2, 3, 12)
+        assert scheme.area_offset(4096) == 4096 - 92
+
+    def test_area_must_fit_page(self):
+        scheme = NxMScheme(4, 100, 20)
+        with pytest.raises(SchemeError):
+            scheme.area_offset(1024)
+
+    def test_slot_offsets_contiguous(self):
+        scheme = NxMScheme(3, 4, 2)
+        offsets = [scheme.slot_offset(i, 4096) for i in range(3)]
+        assert offsets[1] - offsets[0] == scheme.record_size
+        assert offsets[2] - offsets[1] == scheme.record_size
+        with pytest.raises(SchemeError):
+            scheme.slot_offset(3, 4096)
+
+    def test_records_needed(self):
+        scheme = NxMScheme(4, 3, 12)
+        assert scheme.records_needed(0, 0) == 0
+        assert scheme.records_needed(1, 1) == 1
+        assert scheme.records_needed(3, 0) == 1
+        assert scheme.records_needed(4, 0) == 2
+        assert scheme.records_needed(0, 13) == 2
+
+    def test_fits_accounting(self):
+        scheme = NxMScheme(2, 3, 12)
+        assert scheme.fits(3, 2, slots_used=0)
+        assert scheme.fits(6, 2, slots_used=0)  # two records
+        assert not scheme.fits(7, 0, slots_used=0)
+        assert scheme.fits(3, 2, slots_used=1)
+        assert not scheme.fits(4, 0, slots_used=1)
+        assert not scheme.fits(1, 0, slots_used=2)
+        assert scheme.fits(0, 0, slots_used=2)
+
+    def test_fits_disabled_scheme(self):
+        assert not SCHEME_OFF.fits(1, 0, 0)
+
+    def test_v_zero_cannot_host_metadata(self):
+        scheme = NxMScheme(2, 3, 0)
+        assert scheme.fits(3, 0, 0)
+        assert not scheme.fits(1, 1, 0)
+
+
+class TestCodec:
+    scheme = NxMScheme(2, 3, 4)
+
+    def test_roundtrip(self):
+        record = encode_record(self.scheme, [(100, 7), (101, 8)], [(6, 0xAB)])
+        assert len(record) == self.scheme.record_size
+        pairs = decode_record(self.scheme, record)
+        assert pairs == [(100, 7), (101, 8), (6, 0xAB)]
+
+    def test_erased_slot_decodes_none(self):
+        erased = b"\xff" * self.scheme.record_size
+        assert decode_record(self.scheme, erased) is None
+
+    def test_too_many_body_pairs(self):
+        with pytest.raises(DeltaFormatError):
+            encode_record(self.scheme, [(i, 0) for i in range(4)], [])
+
+    def test_too_many_meta_pairs(self):
+        with pytest.raises(DeltaFormatError):
+            encode_record(self.scheme, [], [(i, 0) for i in range(5)])
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(DeltaFormatError):
+            decode_record(self.scheme, b"\x00" * 3)
+        with pytest.raises(DeltaFormatError):
+            encode_record(self.scheme, [(70000, 1)], [])
+        with pytest.raises(DeltaFormatError):
+            encode_record(self.scheme, [(10, 300)], [])
+
+    def test_unknown_ctrl_byte(self):
+        record = bytearray(encode_record(self.scheme, [(1, 2)], []))
+        record[0] = 0x5A
+        with pytest.raises(DeltaFormatError):
+            decode_record(self.scheme, bytes(record))
+
+    def test_split_pairs_distributes(self):
+        body = [(i, i % 256) for i in range(30, 35)]  # 5 body bytes, M=3
+        meta = [(i, 1) for i in range(6)]  # 6 meta bytes, V=4
+        records = split_pairs(self.scheme, body, meta)
+        assert len(records) == 2
+        first = decode_record(self.scheme, records[0])
+        second = decode_record(self.scheme, records[1])
+        assert len([p for p in first if p[0] >= 30]) == 3
+        assert len([p for p in second if p[0] >= 30]) == 2
+        assert len(first) + len(second) == 11
+
+    def test_decode_area_counts_slots(self):
+        scheme = NxMScheme(2, 3, 4)
+        page = bytearray(b"\x00" * 256)
+        area = scheme.area_offset(256)
+        page[area:] = b"\xff" * scheme.area_size
+        record = encode_record(scheme, [(10, 0x42)], [])
+        page[area : area + len(record)] = record
+        pairs, used = decode_area(scheme, page, 256)
+        assert used == 1
+        assert pairs == [(10, 0x42)]
+
+    def test_decode_area_off_scheme(self):
+        pairs, used = decode_area(SCHEME_OFF, bytearray(64), 64)
+        assert pairs == [] and used == 0
+
+    def test_apply_pairs_forward_order_wins(self):
+        image = bytearray(8)
+        apply_pairs(image, [(3, 1), (3, 2)])
+        assert image[3] == 2
+
+    def test_apply_pairs_out_of_range(self):
+        with pytest.raises(DeltaFormatError):
+            apply_pairs(bytearray(4), [(10, 1)])
+
+
+@settings(max_examples=100)
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=20),
+    st.integers(min_value=0, max_value=16),
+    st.data(),
+)
+def test_property_delta_roundtrip_restores_image(n, m, v, data):
+    """Invariant 2 of DESIGN.md: encode -> decode -> apply reproduces the
+    buffered image for any in-budget set of changes."""
+    scheme = NxMScheme(n, m, v)
+    page_size = 1024
+    original = bytearray(data.draw(st.binary(min_size=page_size, max_size=page_size)))
+    area = scheme.area_offset(page_size)
+    original[area:] = b"\xff" * scheme.area_size
+
+    body_count = data.draw(st.integers(min_value=0, max_value=n * m))
+    meta_count = data.draw(st.integers(min_value=0, max_value=min(n * v, 24)))
+    if not scheme.fits(body_count, meta_count, 0) or body_count + meta_count == 0:
+        return
+    body_offsets = data.draw(
+        st.lists(st.integers(min_value=32, max_value=area - 1),
+                 min_size=body_count, max_size=body_count, unique=True)
+    )
+    meta_offsets = data.draw(
+        st.lists(st.integers(min_value=0, max_value=23),
+                 min_size=meta_count, max_size=meta_count, unique=True)
+    )
+    modified = bytearray(original)
+    for offset in body_offsets + meta_offsets:
+        modified[offset] ^= data.draw(st.integers(min_value=1, max_value=255))
+
+    body_pairs = [(offset, modified[offset]) for offset in sorted(body_offsets)]
+    meta_pairs = [(offset, modified[offset]) for offset in sorted(meta_offsets)]
+    records = split_pairs(scheme, body_pairs, meta_pairs)
+    assert len(records) <= n
+
+    flash_image = bytearray(original)
+    cursor = area
+    for record in records:
+        flash_image[cursor : cursor + len(record)] = record
+        cursor += len(record)
+
+    pairs, used = decode_area(scheme, flash_image, page_size)
+    assert used == len(records)
+    rebuilt = bytearray(flash_image)
+    apply_pairs(rebuilt, pairs)
+    rebuilt[area:] = b"\xff" * scheme.area_size
+    assert bytes(rebuilt) == bytes(modified)

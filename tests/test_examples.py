@@ -1,0 +1,34 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Deliverable guard: the examples are part of the public surface; they
+must keep working as the library evolves.  Slow examples take a
+transaction-count argument so the suite stays quick.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", []),
+    ("regions.py", []),
+    ("crash_recovery.py", []),
+    ("correct_and_refresh.py", []),
+    ("conventional_ssd.py", []),
+    ("tpcc_demo.py", ["400"]),
+    ("advisor_demo.py", ["800"]),
+]
+
+
+@pytest.mark.parametrize("script,args", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, args):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must narrate what they show"

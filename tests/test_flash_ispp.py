@@ -1,0 +1,95 @@
+"""Unit tests for the ISPP programming rule (repro.flash.ispp)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ProgramError
+from repro.flash import ispp
+
+
+class TestCanProgram:
+    def test_anything_over_erased(self):
+        assert ispp.can_program(b"\xff\xff\xff", b"\x00\xab\xff")
+
+    def test_identity_reprogram_is_legal(self):
+        assert ispp.can_program(b"\x5a\x5a", b"\x5a\x5a")
+
+    def test_clearing_more_bits_is_legal(self):
+        # 0b1010 -> 0b1000 only drops bits (adds charge).
+        assert ispp.can_program(bytes([0b1010]), bytes([0b1000]))
+
+    def test_setting_a_bit_is_illegal(self):
+        # 0b1000 -> 0b1010 would need to remove charge.
+        assert not ispp.can_program(bytes([0b1000]), bytes([0b1010]))
+
+    def test_programming_ff_is_always_legal(self):
+        assert ispp.can_program(b"\x00", b"\xff") is False or True
+        # 0x00 -> 0xff needs every bit set: illegal.
+        assert not ispp.can_program(b"\x00", b"\xff")
+        # but 0xff over anything leaves cells untouched, hence legal
+        # only if the target bits are already 1... over 0xff it is legal:
+        assert ispp.can_program(b"\xff", b"\xff")
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ProgramError):
+            ispp.can_program(b"\x00", b"\x00\x00")
+
+
+class TestProgramResult:
+    def test_result_is_bitwise_and(self):
+        assert ispp.program_result(b"\xff\xf0", b"\x0f\xf0") == b"\x0f\xf0"
+
+    def test_illegal_program_raises_with_offset(self):
+        with pytest.raises(ProgramError) as err:
+            ispp.program_result(b"\xff\x00", b"\xff\x01")
+        assert "offset 1" in str(err.value)
+
+    def test_first_violation_none_when_legal(self):
+        assert ispp.first_violation(b"\xff", b"\x00") is None
+
+    def test_first_violation_offset(self):
+        assert ispp.first_violation(b"\xff\x00\x00", b"\x00\x00\x04") == 2
+
+
+class TestIsErased:
+    def test_all_ff(self):
+        assert ispp.is_erased(b"\xff" * 16)
+
+    def test_not_erased(self):
+        assert not ispp.is_erased(b"\xff\xfe")
+
+    def test_empty_is_erased(self):
+        assert ispp.is_erased(b"")
+
+
+@given(st.binary(min_size=1, max_size=64))
+def test_property_program_over_erased_always_legal(data):
+    erased = b"\xff" * len(data)
+    assert ispp.can_program(erased, data)
+    assert ispp.program_result(erased, data) == data
+
+
+@given(st.binary(min_size=1, max_size=64), st.binary(min_size=1, max_size=64))
+def test_property_and_is_always_programmable(a, b):
+    """For any current content a, programming (a & b) is always legal."""
+    size = min(len(a), len(b))
+    a, b = a[:size], b[:size]
+    target = bytes(x & y for x, y in zip(a, b))
+    assert ispp.can_program(a, target)
+    assert ispp.program_result(a, target) == target
+
+
+@given(st.binary(min_size=1, max_size=64))
+def test_property_reprogram_same_data_idempotent(data):
+    assert ispp.program_result(data, data) == data
+
+
+@given(st.binary(min_size=1, max_size=32), st.binary(min_size=1, max_size=32))
+def test_property_charge_only_increases(a, b):
+    """After any successful program, no bit ever goes 0 -> 1."""
+    size = min(len(a), len(b))
+    a, b = a[:size], b[:size]
+    if ispp.can_program(a, b):
+        result = ispp.program_result(a, b)
+        for old, new in zip(a, result):
+            assert new & ~old == 0

@@ -1,0 +1,171 @@
+"""Unit tests for FlashPage, FlashBlock and FlashChip."""
+
+import pytest
+
+from repro.errors import (
+    AddressError,
+    ProgramError,
+    ProgramOrderError,
+    WearOutError,
+)
+from repro.flash.block import FlashBlock
+from repro.flash.chip import FlashChip
+from repro.flash.constants import CellType, PageKind
+from repro.flash.geometry import FlashGeometry, PhysicalAddress
+from repro.flash.page import FlashPage
+
+
+class TestFlashPage:
+    def test_starts_erased(self):
+        page = FlashPage(64, 8)
+        assert page.is_erased()
+        assert page.read() == b"\xff" * 64
+        assert page.read_oob() == b"\xff" * 8
+
+    def test_full_program(self):
+        page = FlashPage(16, 4)
+        page.program(bytes(range(16)))
+        assert page.read() == bytes(range(16))
+        assert page.programmed
+        assert page.program_count == 1
+
+    def test_partial_append_into_erased_area(self):
+        page = FlashPage(16, 4)
+        page.program(b"\x01" * 8 + b"\xff" * 8)
+        page.program(b"\x02\x03", offset=8)
+        assert page.read() == b"\x01" * 8 + b"\x02\x03" + b"\xff" * 6
+        assert page.program_count == 2
+
+    def test_append_over_programmed_bytes_raises(self):
+        page = FlashPage(16, 4)
+        page.program(b"\x00" * 16)
+        with pytest.raises(ProgramError):
+            page.program(b"\x01", offset=0)
+
+    def test_reprogram_identical_data_allowed(self):
+        """Correct-and-Refresh style reprogram of the same content."""
+        page = FlashPage(16, 4)
+        data = b"\xa5" * 16
+        page.program(data)
+        page.program(data)
+        assert page.read() == data
+
+    def test_program_out_of_range_raises(self):
+        page = FlashPage(16, 4)
+        with pytest.raises(AddressError):
+            page.program(b"\x00" * 8, offset=12)
+
+    def test_empty_program_raises(self):
+        page = FlashPage(16, 4)
+        with pytest.raises(ProgramError):
+            page.program(b"")
+
+    def test_oob_program(self):
+        page = FlashPage(16, 8)
+        page.program_oob(b"\x12\x34", offset=2)
+        assert page.read_oob() == b"\xff\xff\x12\x34" + b"\xff" * 4
+
+    def test_can_append(self):
+        page = FlashPage(16, 4)
+        page.program(b"\x00" * 8 + b"\xff" * 8)
+        assert page.can_append(b"\x77", 8)
+        assert not page.can_append(b"\x77", 0)
+        assert not page.can_append(b"\x77" * 20, 0)
+
+    def test_erase_resets(self):
+        page = FlashPage(16, 4)
+        page.program(b"\x00" * 16)
+        page.erase()
+        assert page.is_erased()
+        assert page.program_count == 0
+
+
+class TestFlashBlock:
+    def test_erase_count_grows(self):
+        block = FlashBlock(4, 16, 4)
+        assert block.erase_count == 0
+        block.erase()
+        block.erase()
+        assert block.erase_count == 2
+
+    def test_in_order_programming_enforced(self):
+        block = FlashBlock(4, 16, 4)
+        block.note_first_program(2)
+        with pytest.raises(ProgramOrderError):
+            block.note_first_program(1)
+
+    def test_in_order_not_enforced_when_disabled(self):
+        block = FlashBlock(4, 16, 4)
+        block.note_first_program(2)
+        block.note_first_program(1, enforce_order=False)
+
+    def test_erase_resets_program_order(self):
+        block = FlashBlock(4, 16, 4)
+        block.note_first_program(3)
+        block.erase()
+        block.note_first_program(0)
+
+    def test_wear_out(self):
+        block = FlashBlock(2, 16, 4, endurance=3)
+        for _ in range(3):
+            block.erase()
+        assert block.worn_out
+        with pytest.raises(WearOutError):
+            block.erase()
+
+    def test_default_endurance_by_cell_type(self):
+        assert FlashBlock(2, 16, 4, cell_type=CellType.SLC).endurance == 100_000
+        assert FlashBlock(2, 16, 4, cell_type=CellType.MLC).endurance == 10_000
+        assert FlashBlock(2, 16, 4, cell_type=CellType.TLC).endurance == 4_000
+
+    def test_valid_erased_pages(self):
+        block = FlashBlock(4, 16, 4)
+        assert block.valid_erased_pages() == 4
+        block.pages[0].program(b"\x00" * 16)
+        assert block.valid_erased_pages() == 3
+
+
+class TestGeometry:
+    def test_ppn_roundtrip(self):
+        geo = FlashGeometry(chips=2, blocks_per_chip=3, pages_per_block=4)
+        for ppn in range(geo.total_pages):
+            assert geo.ppn(geo.address(ppn)) == ppn
+
+    def test_ppn_out_of_range(self):
+        geo = FlashGeometry(chips=1, blocks_per_chip=1, pages_per_block=4)
+        with pytest.raises(AddressError):
+            geo.address(4)
+
+    def test_bad_address_rejected(self):
+        geo = FlashGeometry(chips=1, blocks_per_chip=2, pages_per_block=4)
+        with pytest.raises(AddressError):
+            geo.check(PhysicalAddress(0, 2, 0))
+
+    def test_capacity(self):
+        geo = FlashGeometry(chips=2, blocks_per_chip=4, pages_per_block=8, page_size=2048)
+        assert geo.capacity_bytes == 2 * 4 * 8 * 2048
+
+    def test_page_kind_slc_all_lsb(self):
+        geo = FlashGeometry(cell_type=CellType.SLC)
+        assert all(geo.page_kind(i) is PageKind.LSB for i in range(8))
+
+    def test_page_kind_mlc_alternates(self):
+        geo = FlashGeometry(cell_type=CellType.MLC)
+        assert geo.page_kind(0) is PageKind.LSB
+        assert geo.page_kind(1) is PageKind.MSB
+        assert geo.page_kind(2) is PageKind.LSB
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(AddressError):
+            FlashGeometry(chips=0)
+
+
+class TestFlashChip:
+    def test_wear_counters(self):
+        chip = FlashChip(FlashGeometry(chips=1, blocks_per_chip=3, pages_per_block=2))
+        chip.blocks[0].erase()
+        chip.blocks[0].erase()
+        chip.blocks[2].erase()
+        assert chip.total_erases() == 3
+        assert chip.max_erase_count() == 2
+        assert chip.min_erase_count() == 0

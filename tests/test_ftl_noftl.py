@@ -1,0 +1,312 @@
+"""Unit and integration tests for the NoFTL controller."""
+
+import pytest
+
+from repro.errors import DeltaWriteError, FTLError, MappingError, RegionError
+from repro.flash import CellType, FlashGeometry, FlashMemory
+from repro.ftl import (
+    IPAMode,
+    NoFTL,
+    RegionConfig,
+    blocks_needed,
+    single_region_device,
+)
+
+
+def make_device(
+    cell_type=CellType.SLC,
+    ipa_mode=IPAMode.NATIVE,
+    logical_pages=64,
+    page_size=256,
+    chips=2,
+    blocks_per_chip=16,
+    pages_per_block=8,
+    **kwargs,
+):
+    geometry = FlashGeometry(
+        chips=chips,
+        blocks_per_chip=blocks_per_chip,
+        pages_per_block=pages_per_block,
+        page_size=page_size,
+        oob_size=32,
+        cell_type=cell_type,
+    )
+    return single_region_device(
+        FlashMemory(geometry), logical_pages=logical_pages, ipa_mode=ipa_mode, **kwargs
+    )
+
+
+def page_image(device, fill=0x11, erased_tail=64):
+    body = bytes([fill]) * (device.page_size - erased_tail)
+    return body + b"\xff" * erased_tail
+
+
+class TestReadWrite:
+    def test_write_then_read_roundtrip(self):
+        device = make_device()
+        image = page_image(device)
+        device.write(3, image)
+        assert device.read(3).data == image
+
+    def test_read_unwritten_raises(self):
+        device = make_device()
+        with pytest.raises(MappingError):
+            device.read(0)
+
+    def test_wrong_size_write_rejected(self):
+        device = make_device()
+        with pytest.raises(FTLError):
+            device.write(0, b"tiny")
+
+    def test_overwrite_goes_out_of_place(self):
+        device = make_device()
+        device.write(0, page_image(device, 0x01))
+        first = device.physical_address(0)
+        device.write(0, page_image(device, 0x02))
+        second = device.physical_address(0)
+        assert first != second
+        assert device.read(0).data == page_image(device, 0x02)
+
+    def test_write_outside_region_raises(self):
+        device = make_device(logical_pages=8)
+        with pytest.raises(FTLError):
+            device.write(8, page_image(device))
+
+    def test_stats_count_host_ios(self):
+        device = make_device()
+        device.write(0, page_image(device))
+        device.read(0)
+        assert device.stats.host_page_writes == 1
+        assert device.stats.host_reads == 1
+
+
+class TestWriteDelta:
+    def test_delta_lands_on_same_physical_page(self):
+        device = make_device()
+        device.write(0, page_image(device))
+        home = device.physical_address(0)
+        device.write_delta(0, device.page_size - 32, b"\x01\x02\x03")
+        assert device.physical_address(0) == home
+        assert device.read(0).data[device.page_size - 32 :][:3] == b"\x01\x02\x03"
+
+    def test_delta_counts_separately(self):
+        device = make_device()
+        device.write(0, page_image(device))
+        device.write_delta(0, device.page_size - 16, b"\x00")
+        assert device.stats.delta_writes == 1
+        assert device.stats.host_writes == 2
+        assert device.stats.ipa_fraction == 0.5
+
+    def test_delta_on_unwritten_page_rejected(self):
+        device = make_device()
+        with pytest.raises(DeltaWriteError):
+            device.write_delta(0, 0, b"\x00")
+
+    def test_delta_over_programmed_cells_rejected(self):
+        device = make_device()
+        device.write(0, b"\x00" * device.page_size)
+        with pytest.raises(DeltaWriteError):
+            device.write_delta(0, 10, b"\x01")
+
+    def test_delta_in_none_region_rejected(self):
+        device = make_device(ipa_mode=IPAMode.NONE)
+        device.write(0, page_image(device))
+        with pytest.raises(DeltaWriteError):
+            device.write_delta(0, device.page_size - 16, b"\x00")
+
+    def test_empty_delta_rejected(self):
+        device = make_device()
+        device.write(0, page_image(device))
+        with pytest.raises(DeltaWriteError):
+            device.write_delta(0, 0, b"")
+
+    def test_can_write_delta_precheck(self):
+        device = make_device()
+        assert not device.can_write_delta(0, 0, 4)
+        device.write(0, page_image(device))
+        assert device.can_write_delta(0, device.page_size - 16, 4)
+        assert not device.can_write_delta(0, 0, 4)
+
+    def test_two_sequential_appends(self):
+        device = make_device()
+        device.write(0, page_image(device, erased_tail=64))
+        base = device.page_size - 64
+        device.write_delta(0, base, b"\x0a\x0b")
+        device.write_delta(0, base + 2, b"\x0c\x0d")
+        tail = device.read(0).data[base : base + 4]
+        assert tail == b"\x0a\x0b\x0c\x0d"
+
+
+class TestGarbageCollection:
+    def test_gc_reclaims_space_under_rewrites(self):
+        device = make_device(logical_pages=32, blocks_per_chip=8)
+        image = page_image(device)
+        for round_number in range(8):
+            for lpn in range(32):
+                device.write(lpn, image)
+        assert device.stats.gc_erases > 0
+        assert device.stats.gc_page_migrations >= 0
+        # all data still readable after many GC passes
+        for lpn in range(32):
+            assert device.read(lpn).data == image
+
+    def test_gc_preserves_appended_deltas(self):
+        """Migration copies raw images, so programmed deltas survive GC."""
+        device = make_device(logical_pages=32, blocks_per_chip=8)
+        image = page_image(device)
+        device.write(31, image)
+        device.write_delta(31, device.page_size - 8, b"\x42\x43")
+        for round_number in range(8):
+            for lpn in range(31):
+                device.write(lpn, image)
+        moved = device.read(31).data
+        assert moved[device.page_size - 8 : device.page_size - 6] == b"\x42\x43"
+
+    def test_skewed_rewrites_cause_fewer_migrations_than_uniform(self):
+        def run(lpns):
+            device = make_device(logical_pages=32, blocks_per_chip=8)
+            image = page_image(device)
+            for lpn in range(32):
+                device.write(lpn, image)
+            for lpn in lpns:
+                device.write(lpn, image)
+            return device.stats.gc_page_migrations
+
+        uniform = run([i % 32 for i in range(256)])
+        skewed = run([i % 4 for i in range(256)])
+        assert skewed <= uniform
+
+    def test_delta_writes_do_not_trigger_gc(self):
+        device = make_device(logical_pages=32, blocks_per_chip=8)
+        image = page_image(device)
+        for lpn in range(32):
+            device.write(lpn, image)
+        erases_before = device.stats.gc_erases
+        base = device.page_size - 64
+        for lpn in range(32):
+            for k in range(16):
+                device.write_delta(lpn, base + 4 * k, b"\x00\x01\x02\x03")
+        assert device.stats.gc_erases == erases_before
+
+
+class TestRegions:
+    def test_multi_region_layout(self):
+        geometry = FlashGeometry(
+            chips=2, blocks_per_chip=32, pages_per_block=8, page_size=256,
+            oob_size=32, cell_type=CellType.MLC,
+        )
+        device = NoFTL.create(
+            FlashMemory(geometry),
+            [
+                RegionConfig("hot", logical_pages=16, ipa_mode=IPAMode.PSLC),
+                RegionConfig("warm", logical_pages=32, ipa_mode=IPAMode.ODD_MLC),
+                RegionConfig("cold", logical_pages=32, ipa_mode=IPAMode.NONE),
+            ],
+        )
+        assert device.region_of(0).name == "hot"
+        assert device.region_of(16).name == "warm"
+        assert device.region_of(48).name == "cold"
+        assert device.region_named("cold").ipa_mode is IPAMode.NONE
+        owned = [key for region in device.regions for key in region.blocks]
+        assert len(owned) == len(set(owned)), "regions must own disjoint blocks"
+
+    def test_pslc_only_allocates_lsb_pages(self):
+        geometry = FlashGeometry(
+            chips=1, blocks_per_chip=16, pages_per_block=8, page_size=256,
+            oob_size=32, cell_type=CellType.MLC,
+        )
+        device = NoFTL.create(
+            FlashMemory(geometry),
+            [RegionConfig("hot", logical_pages=16, ipa_mode=IPAMode.PSLC)],
+        )
+        image = b"\x00" * 192 + b"\xff" * 64
+        for lpn in range(16):
+            device.write(lpn, image)
+            assert device.physical_address(lpn).page % 2 == 0
+
+    def test_odd_mlc_appends_only_on_lsb(self):
+        geometry = FlashGeometry(
+            chips=1, blocks_per_chip=16, pages_per_block=8, page_size=256,
+            oob_size=32, cell_type=CellType.MLC,
+        )
+        device = NoFTL.create(
+            FlashMemory(geometry),
+            [RegionConfig("warm", logical_pages=16, ipa_mode=IPAMode.ODD_MLC)],
+        )
+        image = b"\x00" * 192 + b"\xff" * 64
+        for lpn in range(4):
+            device.write(lpn, image)
+        lsb_lpn = next(l for l in range(4) if device.physical_address(l).page % 2 == 0)
+        msb_lpn = next(l for l in range(4) if device.physical_address(l).page % 2 == 1)
+        device.write_delta(lsb_lpn, 200, b"\x01")
+        with pytest.raises(DeltaWriteError):
+            device.write_delta(msb_lpn, 200, b"\x01")
+
+    def test_mode_validation(self):
+        slc = FlashGeometry(cell_type=CellType.SLC, chips=1, blocks_per_chip=8,
+                            pages_per_block=8, page_size=256, oob_size=32)
+        with pytest.raises(RegionError):
+            NoFTL.create(
+                FlashMemory(slc),
+                [RegionConfig("bad", logical_pages=8, ipa_mode=IPAMode.PSLC)],
+            )
+        mlc = FlashGeometry(cell_type=CellType.MLC, chips=1, blocks_per_chip=8,
+                            pages_per_block=8, page_size=256, oob_size=32)
+        with pytest.raises(RegionError):
+            NoFTL.create(
+                FlashMemory(mlc),
+                [RegionConfig("bad", logical_pages=8, ipa_mode=IPAMode.NATIVE)],
+            )
+
+    def test_blocks_needed_accounts_for_pslc(self):
+        geometry = FlashGeometry(chips=1, blocks_per_chip=64, pages_per_block=8,
+                                 page_size=256, oob_size=32, cell_type=CellType.MLC)
+        normal = blocks_needed(RegionConfig("a", 64, IPAMode.ODD_MLC), geometry)
+        pslc = blocks_needed(RegionConfig("b", 64, IPAMode.PSLC), geometry)
+        assert pslc > normal
+
+    def test_insufficient_flash_raises(self):
+        geometry = FlashGeometry(chips=1, blocks_per_chip=4, pages_per_block=8,
+                                 page_size=256, oob_size=32)
+        with pytest.raises(RegionError):
+            NoFTL.create(
+                FlashMemory(geometry),
+                [RegionConfig("too-big", logical_pages=4096, ipa_mode=IPAMode.NATIVE)],
+            )
+
+
+class TestTrim:
+    def test_trim_unmaps(self):
+        device = make_device()
+        device.write(0, page_image(device))
+        device.trim(0)
+        with pytest.raises(MappingError):
+            device.read(0)
+        assert not device.is_mapped(0)
+
+
+class TestTiming:
+    def test_serialized_device_has_higher_observed_latency(self):
+        def total_latency(serialize):
+            device = make_device(serialize_io=serialize, logical_pages=32,
+                                 blocks_per_chip=8)
+            image = page_image(device)
+            total = 0.0
+            for lpn in range(32):
+                total += device.write(lpn, image, now=0.0).latency_us
+            return total
+
+        assert total_latency(True) > total_latency(False)
+
+    def test_gc_delays_subsequent_host_io(self):
+        device = make_device(logical_pages=32, blocks_per_chip=8)
+        image = page_image(device)
+        for lpn in range(32):
+            device.write(lpn, image)
+        quiet = device.read(0, now=1e12).latency_us  # far future: chips idle
+        # hammer rewrites at t=2e12 to trigger GC, then read immediately
+        for lpn in range(32):
+            device.write(lpn, image, now=2e12)
+        assert device.stats.gc_erases > 0
+        busy = device.read(0, now=2e12).latency_us
+        assert busy > quiet

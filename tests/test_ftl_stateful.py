@@ -1,0 +1,97 @@
+"""Model-based stateful test of the NoFTL device (DESIGN.md invariant 4).
+
+Random interleavings of writes, delta appends, and trims against a
+plain-dict model of the logical address space: whatever the garbage
+collector does underneath, every mapped page must read back exactly as
+the model says, and erase counts must only ever grow.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+from hypothesis import strategies as st
+
+from repro.errors import DeltaWriteError
+from repro.flash import FlashGeometry, FlashMemory
+from repro.ftl import IPAMode, single_region_device
+
+PAGE = 256
+TAIL = 64  # erased delta tail
+LOGICAL = 24
+
+
+class DeviceMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        geometry = FlashGeometry(
+            chips=2, blocks_per_chip=12, pages_per_block=8,
+            page_size=PAGE, oob_size=32,
+        )
+        self.device = single_region_device(
+            FlashMemory(geometry), logical_pages=LOGICAL,
+            ipa_mode=IPAMode.NATIVE,
+        )
+        self.model: dict[int, bytearray] = {}
+        #: Bytes already appended into each page's tail.
+        self.tail_used: dict[int, int] = {}
+        self.erases_seen = 0
+
+    @rule(lpn=st.integers(0, LOGICAL - 1), fill=st.integers(0, 255))
+    def write(self, lpn, fill):
+        image = bytes([fill]) * (PAGE - TAIL) + b"\xff" * TAIL
+        self.device.write(lpn, image)
+        self.model[lpn] = bytearray(image)
+        self.tail_used[lpn] = 0
+
+    @rule(lpn=st.integers(0, LOGICAL - 1), payload=st.binary(min_size=1, max_size=8))
+    def append(self, lpn, payload):
+        if lpn not in self.model:
+            return
+        used = self.tail_used[lpn]
+        if used + len(payload) > TAIL:
+            return
+        offset = PAGE - TAIL + used
+        try:
+            self.device.write_delta(lpn, offset, payload)
+        except DeltaWriteError:
+            return
+        self.model[lpn][offset : offset + len(payload)] = bytes(
+            b & 0xFF for b in payload
+        )
+        self.tail_used[lpn] = used + len(payload)
+
+    @rule(lpn=st.integers(0, LOGICAL - 1))
+    def trim(self, lpn):
+        if lpn not in self.model:
+            return
+        self.device.trim(lpn)
+        del self.model[lpn]
+        del self.tail_used[lpn]
+
+    @invariant()
+    def reads_match_model(self):
+        if not hasattr(self, "model"):
+            return
+        for lpn, expected in self.model.items():
+            assert self.device.read(lpn).data == bytes(expected), lpn
+
+    @invariant()
+    def erase_counts_only_grow(self):
+        if not hasattr(self, "device"):
+            return
+        total = self.device.flash.total_erases()
+        assert total >= self.erases_seen
+        self.erases_seen = total
+
+    @invariant()
+    def mapping_is_injective(self):
+        """No two logical pages share a physical page."""
+        if not hasattr(self, "model"):
+            return
+        homes = [self.device.physical_address(lpn) for lpn in self.model]
+        assert len(homes) == len(set(homes))
+
+
+DeviceMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=40, deadline=None,
+)
+TestDeviceStateful = DeviceMachine.TestCase

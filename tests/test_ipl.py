@@ -1,0 +1,163 @@
+"""Tests for the In-Page Logging baseline and the IPA trace replay."""
+
+import pytest
+
+from repro.core import NxMScheme
+from repro.errors import WorkloadError
+from repro.ipl import IPAReplay, IPLConfig, IPLSimulator, replay_events
+from repro.workloads import TraceEvent
+
+
+class TestIPLConfig:
+    def test_paper_defaults(self):
+        config = IPLConfig()
+        assert config.flash_pages_per_db_page == 4
+        assert config.log_flash_pages == 4
+        assert config.db_pages_per_erase_unit == 15
+        assert config.log_sectors_per_unit == 16
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            IPLConfig(db_page_size=3000)
+        with pytest.raises(WorkloadError):
+            IPLConfig(log_region_bytes=1000)
+        with pytest.raises(WorkloadError):
+            IPLConfig(log_region_bytes=64 * 2048)
+
+
+class TestIPLSimulator:
+    def test_fetch_counts(self):
+        sim = IPLSimulator()
+        sim.on_fetch(0)
+        sim.on_fetch(1)
+        assert sim.stats.fetches == 2
+
+    def test_eviction_flushes_sector(self):
+        sim = IPLSimulator()
+        sim.on_write(0, 4, 10)
+        assert sim.stats.evictions == 1
+        assert sim.stats.merges == 0
+
+    def test_log_region_fills_then_merges(self):
+        """16 sector flushes fill the 8KB log region; the next merges."""
+        sim = IPLSimulator()
+        for __ in range(16):
+            sim.on_write(0, 4, 10)
+        assert sim.stats.merges == 0
+        sim.on_write(0, 4, 10)
+        assert sim.stats.merges == 1
+        assert sim.stats.erases == 1
+
+    def test_big_update_spills_multiple_sectors(self):
+        sim = IPLSimulator()
+        sim.on_write(0, 600, 1200)  # > 2 sectors of log
+        assert sim.stats.imlog_full_flushes >= 2
+
+    def test_pages_share_their_units_log(self):
+        """Pages 0..14 share erase unit 0; their flushes merge together."""
+        sim = IPLSimulator()
+        for i in range(17):
+            sim.on_write(i % 15, 4, 10)
+        assert sim.stats.merges == 1
+        # a different unit is untouched
+        sim2 = IPLSimulator()
+        for i in range(16):
+            sim2.on_write(15 + (i % 15), 4, 10)
+        assert sim2.stats.merges == 0
+
+    def test_amplification_formulas(self):
+        sim = IPLSimulator()
+        for __ in range(20):
+            sim.on_fetch(0)
+        for __ in range(17):
+            sim.on_write(0, 4, 10)
+        # WA = (merges*15*4 + imlog + evictions) / (evictions*4)
+        expected_wa = (sim.stats.merges * 60 + sim.stats.imlog_full_flushes
+                       + sim.stats.evictions) / (sim.stats.evictions * 4)
+        assert sim.write_amplification == pytest.approx(expected_wa)
+        # RA = (fetches*8 + merges*64) / (fetches*4) — reads double.
+        assert sim.read_amplification > 2.0
+
+    def test_space_reserved(self):
+        assert IPLSimulator().space_reserved_fraction == pytest.approx(0.0625)
+
+    def test_empty_trace_amplifications_zero(self):
+        sim = IPLSimulator()
+        assert sim.write_amplification == 0.0
+        assert sim.read_amplification == 0.0
+
+
+class TestIPAReplay:
+    def test_small_updates_become_deltas(self):
+        replay = IPAReplay(16, NxMScheme(2, 4))
+        replay.on_write(0, 0, 0)  # first write: out of place
+        replay.on_write(0, 3, 5)
+        assert replay.device.stats.delta_writes == 1
+        assert replay.device.stats.host_page_writes == 1
+
+    def test_slot_budget_respected(self):
+        replay = IPAReplay(16, NxMScheme(2, 4))
+        replay.on_write(0, 0, 0)
+        for __ in range(3):
+            replay.on_write(0, 3, 5)
+        # two appends then a forced out-of-place write
+        assert replay.device.stats.delta_writes == 2
+        assert replay.device.stats.host_page_writes == 2
+
+    def test_big_update_goes_out_of_place(self):
+        replay = IPAReplay(16, NxMScheme(2, 4))
+        replay.on_write(0, 0, 0)
+        replay.on_write(0, 400, 500)
+        assert replay.device.stats.delta_writes == 0
+
+    def test_read_amplification_includes_gc(self):
+        replay = IPAReplay(8, NxMScheme(2, 4), overprovisioning=0.25)
+        for lpn in range(8):
+            replay.on_write(lpn, 0, 0)
+        for round_number in range(30):
+            for lpn in range(8):
+                replay.on_write(lpn, 500, 600)  # all out-of-place
+        for lpn in range(8):
+            replay.on_fetch(lpn)
+        assert replay.device.stats.gc_erases > 0
+        assert replay.read_amplification > 1.0
+        assert replay.write_amplification > 1.0
+
+    def test_space_reserved_tiny(self):
+        replay = IPAReplay(8, NxMScheme(2, 3))
+        assert replay.space_reserved_fraction < 0.02
+
+    def test_replay_events_dispatch(self):
+        events = [
+            TraceEvent("fetch", 0),
+            TraceEvent("write", 0, 0, 0, "new"),
+            TraceEvent("write", 0, 2, 4, "ipa"),
+        ]
+        replay = IPAReplay(4, NxMScheme(2, 4))
+        replay_events(events, replay)
+        assert replay.fetches == 1
+        assert replay.evictions == 2
+
+
+class TestComparisonShape:
+    def test_ipa_beats_ipl_on_synthetic_oltp_trace(self):
+        """A synthetic small-update trace: the Table 2 shape in miniature."""
+        import random
+
+        rng = random.Random(5)
+        events = []
+        for lpn in range(64):
+            events.append(TraceEvent("write", lpn, 0, 0, "new"))
+        for __ in range(4000):
+            lpn = rng.randrange(64)
+            if rng.random() < 0.4:
+                events.append(TraceEvent("fetch", lpn))
+            events.append(TraceEvent("write", lpn, rng.randint(1, 4),
+                                     rng.randint(2, 8), "?"))
+        ipl = IPLSimulator()
+        replay_events(events, ipl)
+        ipa = IPAReplay(64, NxMScheme(2, 4), overprovisioning=0.4)
+        replay_events(events, ipa)
+        assert ipa.write_amplification < ipl.write_amplification
+        assert ipa.read_amplification < ipl.read_amplification
+        assert ipa.erases < ipl.stats.erases

@@ -1,0 +1,60 @@
+"""Public-API stability: the documented surface stays importable.
+
+README, DESIGN.md and the examples reference these names; this test
+fails loudly if a refactor breaks the published surface.
+"""
+
+import importlib
+
+import pytest
+
+SURFACE = {
+    "repro": ["__version__"],
+    "repro.flash": [
+        "FlashGeometry", "FlashMemory", "CellType", "PageKind",
+        "PhysicalAddress", "LatencyModel", "FaultInjector",
+        "SegmentedEcc", "EccSegment", "compute_code", "correct",
+        "ENDURANCE_CYCLES", "ERASED_BYTE", "ispp",
+    ],
+    "repro.ftl": [
+        "NoFTL", "single_region_device", "RegionConfig", "Region",
+        "IPAMode", "PageMapping", "DeviceStats", "BlockSSD",
+        "greedy", "fifo", "cost_benefit", "wear_aware", "get_policy",
+    ],
+    "repro.storage": [
+        "StorageEngine", "EngineConfig", "Schema", "Column",
+        "Int32", "Int64", "Char", "VarChar", "Table", "RID",
+        "SlottedPage", "BufferPool", "BTreeIndex", "TableIndex",
+        "LogManager", "LogKind", "Transaction", "recover",
+    ],
+    "repro.core": [
+        "NxMScheme", "SCHEME_OFF", "IPAManager", "IPAAdvisor",
+        "Recommendation", "scheme_decisions", "DecisionCounts",
+        "encode_record", "decode_record", "split_pairs",
+        "decode_area", "apply_pairs",
+    ],
+    "repro.ipl": ["IPLSimulator", "IPLConfig", "IPAReplay", "replay_events"],
+    "repro.workloads": [
+        "TPCB", "TPCC", "TATP", "LinkBench", "Driver", "RunResult",
+        "TraceRecorder", "TraceEvent", "save_trace", "load_trace",
+        "Zipf", "nurand",
+    ],
+    "repro.analysis": [
+        "UpdateSizeCollector", "PerObjectCollector", "CDF",
+        "percentile_at_most", "format_table", "ascii_cdf",
+        "db_write_amplification", "lifetime_host_writes",
+        "longevity_factor", "relative_change",
+    ],
+    "repro.testbed": [
+        "emulator_device", "openssd_device", "build_engine",
+        "load_scaled", "loaded_db_pages",
+    ],
+    "repro.cli": ["main", "build_parser", "parse_scheme"],
+}
+
+
+@pytest.mark.parametrize("module_name", sorted(SURFACE))
+def test_surface_importable(module_name):
+    module = importlib.import_module(module_name)
+    missing = [name for name in SURFACE[module_name] if not hasattr(module, name)]
+    assert not missing, f"{module_name} lost: {missing}"

@@ -1,0 +1,183 @@
+"""Unit tests for the buffer pool: LRU, pinning, cleaning, eviction."""
+
+import pytest
+
+from repro.errors import BufferError_
+from repro.storage import BufferPool, SlottedPage
+
+
+class FakeBackend:
+    """In-memory loader/flusher pair standing in for device + IPA manager."""
+
+    def __init__(self, page_size=256):
+        self.page_size = page_size
+        self.store: dict[int, bytes] = {}
+        self.loads = 0
+        self.flushes: list[int] = []
+
+    def load(self, lpn, now):
+        self.loads += 1
+        image = self.store.get(lpn)
+        if image is None:
+            page = SlottedPage.format(lpn, self.page_size, 0)
+        else:
+            page = SlottedPage(bytearray(image))
+        return page, 0, 1.0
+
+    def flush(self, frame, now):
+        self.store[frame.lpn] = bytes(frame.page.image)
+        self.flushes.append(frame.lpn)
+        frame.page.reset_tracking()
+        return "oop", 2.0
+
+
+def make_pool(capacity=4, threshold=0.5, backend=None):
+    backend = backend or FakeBackend()
+    pool = BufferPool(capacity, backend.load, backend.flush, dirty_threshold=threshold)
+    return pool, backend
+
+
+class TestFetch:
+    def test_miss_then_hit(self):
+        pool, backend = make_pool()
+        frame, latency = pool.fetch(1, 0.0)
+        assert latency == 1.0
+        pool.unpin(1)
+        frame2, latency2 = pool.fetch(1, 0.0)
+        assert frame2 is frame
+        assert latency2 == 0.0
+        assert backend.loads == 1
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 1
+
+    def test_pin_counting(self):
+        pool, __ = make_pool()
+        pool.fetch(1, 0.0)
+        pool.fetch(1, 0.0)
+        assert pool.frame(1).pin_count == 2
+        pool.unpin(1)
+        pool.unpin(1)
+        assert pool.frame(1).pin_count == 0
+
+    def test_unpin_unpinned_raises(self):
+        pool, __ = make_pool()
+        pool.fetch(1, 0.0)
+        pool.unpin(1)
+        with pytest.raises(BufferError_):
+            pool.unpin(1)
+
+    def test_frame_of_absent_page_raises(self):
+        pool, __ = make_pool()
+        with pytest.raises(BufferError_):
+            pool.frame(99)
+
+
+class TestEviction:
+    def test_lru_eviction_order(self):
+        pool, __ = make_pool(capacity=2)
+        pool.fetch(1, 0.0)
+        pool.unpin(1)
+        pool.fetch(2, 0.0)
+        pool.unpin(2)
+        pool.fetch(1, 0.0)  # touch 1: now 2 is coldest
+        pool.unpin(1)
+        pool.fetch(3, 0.0)
+        assert 2 not in pool
+        assert 1 in pool
+
+    def test_pinned_pages_survive(self):
+        pool, __ = make_pool(capacity=2)
+        pool.fetch(1, 0.0)  # stays pinned
+        pool.fetch(2, 0.0)
+        pool.unpin(2)
+        pool.fetch(3, 0.0)
+        assert 1 in pool
+        assert 2 not in pool
+
+    def test_all_pinned_raises(self):
+        pool, __ = make_pool(capacity=2)
+        pool.fetch(1, 0.0)
+        pool.fetch(2, 0.0)
+        with pytest.raises(BufferError_):
+            pool.fetch(3, 0.0)
+
+    def test_dirty_eviction_flushes(self):
+        pool, backend = make_pool(capacity=2, threshold=1.0)
+        pool.fetch(1, 0.0)
+        pool.unpin(1, dirty=True)
+        pool.fetch(2, 0.0)
+        pool.unpin(2)
+        pool.fetch(3, 0.0)
+        assert backend.flushes == [1]
+        assert pool.stats.evict_flushes == 1
+
+    def test_eviction_persists_content(self):
+        backend = FakeBackend()
+        pool, __ = make_pool(capacity=1, threshold=1.0, backend=backend)
+        frame, __ = pool.fetch(1, 0.0)
+        frame.page.insert(b"persist-me")
+        pool.unpin(1, dirty=True)
+        pool.fetch(2, 0.0)
+        pool.unpin(2)
+        frame, __ = pool.fetch(1, 0.0)
+        assert frame.page.read_record(0) == b"persist-me"
+
+
+class TestCleaning:
+    def test_cleaner_respects_threshold(self):
+        pool, backend = make_pool(capacity=4, threshold=0.5)
+        for lpn in (1, 2, 3):
+            pool.fetch(lpn, 0.0)
+            pool.unpin(lpn, dirty=True)
+        assert pool.dirty_fraction == 0.75
+        flushed = pool.clean(0.0)
+        assert flushed >= 2
+        assert pool.dirty_fraction <= 0.5
+        # cleaned pages stay resident
+        assert all(lpn in pool for lpn in (1, 2, 3))
+
+    def test_cleaner_noop_below_threshold(self):
+        pool, backend = make_pool(capacity=4, threshold=0.5)
+        pool.fetch(1, 0.0)
+        pool.unpin(1, dirty=True)
+        assert pool.clean(0.0) == 0
+
+    def test_flush_all(self):
+        pool, backend = make_pool(capacity=4, threshold=1.0)
+        for lpn in (1, 2, 3):
+            pool.fetch(lpn, 0.0)
+            pool.unpin(lpn, dirty=True)
+        assert pool.flush_all(0.0) == 3
+        assert pool.dirty_count == 0
+        assert pool.stats.checkpoint_flushes == 3
+
+    def test_drop_all(self):
+        pool, __ = make_pool()
+        pool.fetch(1, 0.0)
+        pool.unpin(1, dirty=True)
+        pool.drop_all()
+        assert len(pool) == 0
+        assert pool.dirty_count == 0
+
+
+class TestPutNew:
+    def test_put_new_is_dirty_and_pinned(self):
+        pool, __ = make_pool()
+        page = SlottedPage.format(9, 256, 0)
+        frame = pool.put_new(9, page, 0.0)
+        assert frame.pin_count == 1
+        assert frame.dirty
+        assert pool.dirty_count == 1
+
+    def test_put_new_duplicate_raises(self):
+        pool, __ = make_pool()
+        pool.put_new(9, SlottedPage.format(9, 256, 0), 0.0)
+        with pytest.raises(BufferError_):
+            pool.put_new(9, SlottedPage.format(9, 256, 0), 0.0)
+
+    def test_config_validation(self):
+        backend = FakeBackend()
+        with pytest.raises(BufferError_):
+            BufferPool(0, backend.load, backend.flush)
+        with pytest.raises(BufferError_):
+            BufferPool(4, backend.load, backend.flush, dirty_threshold=0.0)

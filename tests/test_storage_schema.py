@@ -1,0 +1,121 @@
+"""Unit tests for schemas and record packing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SchemaError
+from repro.storage import Char, Column, Int32, Int64, Schema, VarChar
+
+
+def sample_schema():
+    return Schema(
+        [
+            Column("id", Int32()),
+            Column("balance", Int64()),
+            Column("name", Char(10)),
+            Column("payload", VarChar(100)),
+        ]
+    )
+
+
+class TestColumnTypes:
+    def test_int32_roundtrip(self):
+        col = Int32()
+        assert col.unpack(col.pack(-12345)) == -12345
+
+    def test_int32_overflow(self):
+        with pytest.raises(SchemaError):
+            Int32().pack(2**40)
+
+    def test_int64_roundtrip(self):
+        col = Int64()
+        assert col.unpack(col.pack(2**40)) == 2**40
+
+    def test_char_pads_and_strips(self):
+        col = Char(8)
+        packed = col.pack("abc")
+        assert len(packed) == 8
+        assert col.unpack(packed) == "abc"
+
+    def test_char_too_long(self):
+        with pytest.raises(SchemaError):
+            Char(3).pack("abcdef")
+
+    def test_char_zero_width_rejected(self):
+        with pytest.raises(SchemaError):
+            Char(0)
+
+    def test_varchar_length_prefix(self):
+        col = VarChar(100)
+        packed = col.pack(b"hello")
+        assert packed[:2] == (5).to_bytes(2, "big")
+
+    def test_varchar_too_long(self):
+        with pytest.raises(SchemaError):
+            VarChar(4).pack(b"abcdef")
+
+
+class TestSchema:
+    def test_pack_unpack_roundtrip(self):
+        schema = sample_schema()
+        values = (7, 10**12, "alice", b"blob-data")
+        assert schema.unpack(schema.pack(values)) == values
+
+    def test_fixed_offsets(self):
+        schema = sample_schema()
+        assert schema.fixed_offset(0) == 0
+        assert schema.fixed_offset(1) == 4
+        assert schema.fixed_offset(2) == 12
+        assert schema.fixed_size == 22
+
+    def test_fixed_offset_of_var_column_raises(self):
+        schema = sample_schema()
+        with pytest.raises(SchemaError):
+            schema.fixed_offset(3)
+
+    def test_var_field_slice(self):
+        schema = sample_schema()
+        record = schema.pack((1, 2, "x", b"abcd"))
+        offset, length = schema.var_field_slice(record, 3)
+        assert record[offset : offset + length] == b"abcd"
+
+    def test_wrong_arity(self):
+        with pytest.raises(SchemaError):
+            sample_schema().pack((1, 2))
+
+    def test_duplicate_column_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Column("a", Int32()), Column("a", Int32())])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_column_index(self):
+        schema = sample_schema()
+        assert schema.column_index("balance") == 1
+        with pytest.raises(SchemaError):
+            schema.column_index("missing")
+
+    def test_fixed_column_patch_is_small(self):
+        """A +1 balance update changes only the least-significant byte."""
+        schema = sample_schema()
+        a = schema.pack((1, 1000, "x", b""))
+        b = schema.pack((1, 1001, "x", b""))
+        diff = [i for i, (x, y) in enumerate(zip(a, b)) if x != y]
+        assert diff == [schema.fixed_offset(1) + 7]
+
+
+@given(
+    st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.text(max_size=10).filter(lambda s: len(s.encode()) <= 10),
+    st.binary(max_size=100),
+)
+def test_property_schema_roundtrip(a, b, name, blob):
+    schema = sample_schema()
+    values = (a, b, name.strip(), blob)
+    unpacked = schema.unpack(schema.pack(values))
+    assert unpacked[0] == values[0]
+    assert unpacked[1] == values[1]
+    assert unpacked[3] == values[3]

@@ -1,0 +1,113 @@
+"""Unit tests for the log manager and transaction bookkeeping."""
+
+import pytest
+
+from repro.errors import TransactionError
+from repro.storage import LogKind, LogManager, TransactionManager, TxnState
+from repro.storage.wal import LogRecord
+
+
+class TestLogRecordSizes:
+    def test_update_size(self):
+        record = LogRecord(1, 1, LogKind.UPDATE, 0, 0,
+                           ((10, b"ab", b"cd"), (20, b"x", b"y")))
+        assert record.size == 28 + (4 + 4) + (4 + 2)
+
+    def test_insert_size(self):
+        record = LogRecord(1, 1, LogKind.INSERT, 0, 0, (b"12345",))
+        assert record.size == 28 + 5
+
+    def test_replace_size(self):
+        record = LogRecord(1, 1, LogKind.REPLACE, 0, 0, (b"old", b"newer"))
+        assert record.size == 28 + 8
+
+    def test_delete_size(self):
+        record = LogRecord(1, 1, LogKind.DELETE, 0, 0, (100, 20))
+        assert record.size == 32
+
+    def test_control_record_size(self):
+        assert LogRecord(1, 1, LogKind.COMMIT).size == 28
+
+
+class TestLogManager:
+    def test_lsns_monotone(self):
+        log = LogManager()
+        a = log.append(1, LogKind.INSERT, 0, 0, (b"x",))
+        b = log.append(1, LogKind.COMMIT)
+        assert b.lsn == a.lsn + 1
+        assert log.last_lsn == b.lsn
+        assert log.next_lsn == b.lsn + 1
+
+    def test_retention_toggle(self):
+        retained = LogManager(retain=True)
+        retained.append(1, LogKind.COMMIT)
+        assert len(retained.records) == 1
+        dropped = LogManager(retain=False)
+        dropped.append(1, LogKind.COMMIT)
+        assert dropped.records == []
+        assert dropped.appended == 1
+
+    def test_space_accounting_and_checkpoint(self):
+        log = LogManager(capacity_bytes=1000)
+        for __ in range(10):
+            log.append(1, LogKind.INSERT, 0, 0, (b"x" * 22,))
+        assert log.space_consumed_fraction() == pytest.approx(0.5)
+        log.note_checkpoint()
+        assert log.space_consumed_fraction() < 0.05
+        assert log.bytes_written > 0  # total never resets
+
+    def test_force_counts_and_returns_latency(self):
+        log = LogManager(force_latency_us=42.0)
+        assert log.force() == 42.0
+        assert log.forces == 1
+
+    def test_zero_capacity_is_never_full(self):
+        log = LogManager(capacity_bytes=0)
+        log.append(1, LogKind.COMMIT)
+        assert log.space_consumed_fraction() == 0.0
+
+
+class TestTransactionManager:
+    def test_lifecycle(self):
+        manager = TransactionManager()
+        txn = manager.begin(begin_lsn=1, now_us=0.0)
+        assert txn.is_active
+        assert txn.txn_id in manager.active
+        manager.finish_commit(txn, now_us=50.0)
+        assert txn.state is TxnState.COMMITTED
+        assert txn.response_time_us == 50.0
+        assert manager.committed == 1
+        assert txn.txn_id not in manager.active
+
+    def test_abort_path(self):
+        manager = TransactionManager()
+        txn = manager.begin(1, 0.0)
+        manager.finish_abort(txn, 10.0)
+        assert txn.state is TxnState.ABORTED
+        assert manager.aborted == 1
+
+    def test_double_commit_rejected(self):
+        manager = TransactionManager()
+        txn = manager.begin(1, 0.0)
+        manager.finish_commit(txn, 1.0)
+        with pytest.raises(TransactionError):
+            manager.finish_commit(txn, 2.0)
+        with pytest.raises(TransactionError):
+            txn.note_undo(None)
+
+    def test_ids_unique(self):
+        manager = TransactionManager()
+        ids = {manager.begin(1, 0.0).txn_id for __ in range(10)}
+        assert len(ids) == 10
+
+    def test_response_time_none_while_active(self):
+        manager = TransactionManager()
+        txn = manager.begin(1, 5.0)
+        assert txn.response_time_us is None
+
+    def test_undo_chain_order(self):
+        manager = TransactionManager()
+        txn = manager.begin(1, 0.0)
+        txn.note_undo("a")
+        txn.note_undo("b")
+        assert txn.undo == ["a", "b"]

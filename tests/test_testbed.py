@@ -1,0 +1,83 @@
+"""Tests for the testbed factories and the buffer-fraction protocol."""
+
+import pytest
+
+from repro.core import NxMScheme
+from repro.flash.constants import CellType
+from repro.ftl.region import IPAMode
+from repro.testbed import (
+    build_engine,
+    emulator_device,
+    load_scaled,
+    loaded_db_pages,
+    openssd_device,
+)
+from repro.workloads import TPCB, TPCBConfig
+
+
+class TestEmulatorDevice:
+    def test_matches_paper_configuration(self):
+        device = emulator_device(logical_pages=512)
+        assert device.flash.geometry.chips == 16
+        assert device.flash.geometry.cell_type is CellType.SLC
+        assert device.regions[0].config.overprovisioning == pytest.approx(0.10)
+        assert device.regions[0].ipa_mode is IPAMode.NATIVE
+        assert not device.serialize_io
+
+    def test_capacity_covers_logical_plus_op(self):
+        device = emulator_device(logical_pages=512)
+        physical = device.flash.geometry.total_pages
+        assert physical >= 512 * 1.1
+
+    def test_non_ipa_variant(self):
+        device = emulator_device(logical_pages=64, ipa_capable=False)
+        assert device.regions[0].ipa_mode is IPAMode.NONE
+
+
+class TestOpenSSDDevice:
+    def test_matches_board_characteristics(self):
+        device = openssd_device(logical_pages=256)
+        assert device.flash.geometry.cell_type is CellType.MLC
+        assert device.serialize_io  # no NCQ (Appendix D)
+
+    def test_pslc_gets_double_blocks(self):
+        odd = openssd_device(logical_pages=256, mode=IPAMode.ODD_MLC)
+        pslc = openssd_device(logical_pages=256, mode=IPAMode.PSLC)
+        assert (pslc.flash.geometry.total_blocks
+                > odd.flash.geometry.total_blocks)
+
+
+class TestBuildEngine:
+    def test_defaults(self):
+        device = emulator_device(logical_pages=128)
+        engine = build_engine(device)
+        assert engine.config.buffer_pages == 64
+        assert engine.config.eviction == "eager"
+
+    def test_scheme_passthrough(self):
+        device = emulator_device(logical_pages=128)
+        engine = build_engine(device, scheme=NxMScheme(3, 7), eviction="non-eager")
+        assert engine.ipa.scheme == NxMScheme(3, 7)
+        assert engine.config.dirty_threshold == 0.75
+
+
+class TestLoadScaled:
+    def test_buffer_sized_to_fraction_of_loaded_db(self):
+        device = emulator_device(logical_pages=400, chips=4)
+        engine = build_engine(device, buffer_pages=400)
+        workload = TPCB(TPCBConfig(accounts_per_branch=4000))
+        driver = load_scaled(engine, workload, buffer_fraction=0.5)
+        pages = loaded_db_pages(engine)
+        assert pages > 50
+        assert engine.pool.capacity == int(pages * 0.5)
+        # measurement counters were reset after the load
+        assert engine.device.stats.host_writes == 0
+        result = driver.run(100)
+        assert result.transactions == 100
+
+    def test_minimum_buffer_enforced(self):
+        device = emulator_device(logical_pages=400, chips=4)
+        engine = build_engine(device, buffer_pages=400)
+        workload = TPCB(TPCBConfig(accounts_per_branch=200))
+        load_scaled(engine, workload, buffer_fraction=0.01)
+        assert engine.pool.capacity >= 8
