@@ -118,6 +118,31 @@ class CDF:
     ys: list[float] = field(default_factory=list)  # cumulative percent
 
     @classmethod
+    def from_histogram(cls, histogram) -> "CDF":
+        """Build a CDF from a telemetry histogram's bucket counts.
+
+        Accepts any :class:`~repro.telemetry.metrics.Histogram`; each
+        finite bucket bound becomes an x point carrying the cumulative
+        percent of samples at or below it, so figure 7-10 style latency
+        CDFs can be rendered straight from the telemetry layer instead
+        of bespoke per-sample accumulation.  The ``+Inf`` overflow
+        bucket is folded into the last finite bound.
+        """
+        if histogram.count == 0:
+            return cls()
+        total = histogram.count
+        xs: list[int] = []
+        ys: list[float] = []
+        for bound, cumulative in histogram.cumulative_counts():
+            if bound == float("inf"):
+                if xs:
+                    ys[-1] = 100.0
+                break
+            xs.append(bound)
+            ys.append(100.0 * cumulative / total)
+        return cls(xs, ys)
+
+    @classmethod
     def from_samples(cls, samples: list[int]) -> "CDF":
         if not samples:
             return cls()

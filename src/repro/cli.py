@@ -7,13 +7,19 @@ Usage (also via ``python -m repro``)::
     python -m repro advise --workload tpcb --goal longevity
     python -m repro trace-record --workload tatp --out tatp.trace
     python -m repro trace-replay tatp.trace --scheme 2x4
+    python -m repro trace --workload tpcb --out run.jsonl
+    python -m repro metrics --workload tpcb --format prom
 
 ``run`` executes one configuration and prints the counters the paper's
 tables report; ``compare`` runs the same workload with and without IPA
 and prints relative changes; ``advise`` profiles the workload and
 prints the advisor's [N x M] recommendations; the ``trace-*`` commands
 implement the Section 8.3 record/replay methodology against the IPL
-baseline.
+baseline.  The telemetry commands observe a run through the
+:mod:`repro.telemetry` subsystem: ``trace`` streams every cross-layer
+event to a JSONL file (and verifies the stream aggregates back to the
+run's counters), ``metrics`` dumps the metrics registry in Prometheus
+text format or CSV.
 """
 
 from __future__ import annotations
@@ -26,6 +32,14 @@ from .core import IPAAdvisor, NxMScheme, SCHEME_OFF
 from .errors import ReproError
 from .ftl.region import IPAMode
 from .ipl import IPAReplay, IPLSimulator, replay_events
+from .telemetry import Telemetry
+from .telemetry.export import (
+    JsonlTraceWriter,
+    aggregate_trace,
+    csv_summary,
+    prometheus_text,
+    read_jsonl_trace,
+)
 from .testbed import build_engine, emulator_device, load_scaled, openssd_device
 from .workloads import (
     LinkBench,
@@ -57,7 +71,7 @@ def parse_scheme(text: str) -> NxMScheme:
     raise argparse.ArgumentTypeError(f"bad scheme {text!r}; use e.g. 2x4 or 2x3x12")
 
 
-def _build(args, scheme, record_trace=False):
+def _build(args, scheme, record_trace=False, telemetry=None):
     workload_cls, logical_pages, log_capacity = WORKLOADS[args.workload]
     if args.platform == "openssd":
         mode = IPAMode.PSLC if args.mode == "pslc" else IPAMode.ODD_MLC
@@ -67,6 +81,7 @@ def _build(args, scheme, record_trace=False):
     engine = build_engine(
         device, scheme=scheme, buffer_pages=logical_pages,
         eviction=args.eviction, log_capacity_bytes=log_capacity,
+        telemetry=telemetry,
     )
     collector = UpdateSizeCollector()
     engine.add_flush_observer(collector)
@@ -184,6 +199,84 @@ def cmd_trace_replay(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """``repro trace``: run with JSONL event tracing, verify the stream.
+
+    Tracing is attached *after* the load phase so the stream covers
+    exactly the measured run; the command then reads the file back,
+    aggregates it, and checks the aggregate against the device and IPA
+    counter snapshots (trace completeness).
+    """
+    telemetry = Telemetry()
+    try:
+        # Open the output first: fail before the (slow) load phase.
+        writer = JsonlTraceWriter(args.out)
+    except OSError as exc:
+        print(f"cannot write trace: {exc}", file=sys.stderr)
+        return 1
+    engine, driver, __, __ = _build(args, args.scheme, telemetry=telemetry)
+    telemetry.metrics.reset()
+    with writer.attach(telemetry.events):
+        driver.run(args.txns)
+        events_written = writer.events_written
+    events = read_jsonl_trace(args.out)
+    aggregated = aggregate_trace(events)
+    device = engine.device.stats.snapshot()
+    ipa = engine.ipa.stats.snapshot()
+    mismatches = [
+        key
+        for key, value in aggregated.items()
+        for expected in (device.get(key, ipa.get(key)),)
+        if expected is not None and value != expected
+    ]
+    print(f"wrote {events_written} events to {args.out}")
+    rows = [
+        ["host reads", aggregated["host_reads"]],
+        ["host page writes", aggregated["host_page_writes"]],
+        ["in-place appends", aggregated["delta_writes"]],
+        ["GC migrations", aggregated["gc_page_migrations"]],
+        ["GC erases", aggregated["gc_erases"]],
+        ["IPA flushes", aggregated["ipa_flushes"]],
+        ["OOP flushes", aggregated["oop_flushes"]],
+        ["skipped flushes", aggregated["skipped_flushes"]],
+    ]
+    print(format_table(
+        ["counter (from trace)", "value"], rows,
+        title=f"{args.workload}: JSONL trace aggregation",
+    ))
+    if mismatches:
+        print(f"trace does NOT aggregate to run counters: {mismatches}",
+              file=sys.stderr)
+        return 1
+    print("trace verified: aggregation matches device and IPA snapshots")
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    """``repro metrics``: run with telemetry, dump the metrics registry."""
+    telemetry = Telemetry()
+    engine, driver, __, __ = _build(args, args.scheme, telemetry=telemetry)
+    telemetry.metrics.reset()
+    driver.run(args.txns)
+    telemetry.collect()
+    text = (
+        csv_summary(telemetry.metrics)
+        if args.format == "csv"
+        else prometheus_text(telemetry.metrics)
+    )
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        except OSError as exc:
+            print(f"cannot write metrics: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote {len(telemetry.metrics)} metrics to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI argument parser (see module docstring)."""
     parser = argparse.ArgumentParser(
@@ -225,6 +318,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scheme", type=parse_scheme, default=NxMScheme(2, 4))
     p.add_argument("--out", required=True)
     p.set_defaults(func=cmd_trace_record)
+
+    p = sub.add_parser("trace", help="run with JSONL telemetry tracing")
+    common(p)
+    p.add_argument("--scheme", type=parse_scheme, default=NxMScheme(2, 4))
+    p.add_argument("--out", required=True, help="JSONL event stream path")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("metrics", help="run and dump the metrics registry")
+    common(p)
+    p.add_argument("--scheme", type=parse_scheme, default=NxMScheme(2, 4))
+    p.add_argument("--format", choices=("prom", "csv"), default="prom")
+    p.add_argument("--out", default=None, help="write dump here (default stdout)")
+    p.set_defaults(func=cmd_metrics)
 
     p = sub.add_parser("trace-replay", help="replay a trace: IPA vs IPL")
     p.add_argument("trace")

@@ -44,6 +44,7 @@ class IPAManager:
         ecc_enabled: bool = False,
         flush_observer: FlushObserver | None = None,
         page_checksum: bool = False,
+        telemetry=None,
     ) -> None:
         self.device = device
         self.scheme = scheme
@@ -53,6 +54,9 @@ class IPAManager:
         #: flush (a tracked ~4-byte metadata change) and verify on load.
         self.page_checksum = page_checksum
         self.stats = IPAStats()
+        #: Telemetry handle (``repro.telemetry.Telemetry``); ``None``
+        #: keeps the flush path free of any event work.
+        self.telemetry = telemetry
         self._ecc = self._build_ecc() if ecc_enabled else None
 
     def _build_ecc(self) -> SegmentedEcc:
@@ -118,9 +122,15 @@ class IPAManager:
         if mapped and not page.tracked and not page.track_overflowed and not frame.ipa_disabled:
             self.stats.skipped_flushes += 1
             self._observe(frame.lpn, "skip", 0, 0, False)
+            if self.telemetry is not None:
+                self.telemetry.on_flush(
+                    frame.lpn, "skip", 0, 0, False, False, False,
+                    0, frame.slots_used, 0, 0.0,
+                )
             return "skip", 0.0
         if self.page_checksum and hasattr(page, "update_checksum"):
             page.update_checksum()
+        fallback = budget_overflow = False
         if (
             self.scheme.enabled
             and mapped
@@ -134,9 +144,14 @@ class IPAManager:
                 if result is not None:
                     return result
                 self.stats.device_fallbacks += 1
+                fallback = True
             else:
                 self.stats.budget_overflows += 1
-        return self._flush_oop(frame, now, fresh=not mapped)
+                budget_overflow = True
+        return self._flush_oop(
+            frame, now, fresh=not mapped,
+            fallback=fallback, budget_overflow=budget_overflow,
+        )
 
     def _flush_ipa(self, frame, body: list[int], meta: list[int], now: float):
         page = frame.page
@@ -159,15 +174,28 @@ class IPAManager:
         self.stats.delta_records_written += len(records)
         self.stats.delta_bytes_written += len(data)
         self._observe(frame.lpn, "ipa", net, gross, False)
+        if self.telemetry is not None:
+            self.telemetry.on_flush(
+                frame.lpn, "ipa", net, gross, False, False, False,
+                len(records), frame.slots_used, len(data), io.latency_us,
+            )
         return "ipa", io.latency_us
 
-    def _flush_oop(self, frame, now: float, fresh: bool = False) -> tuple[str, float]:
+    def _flush_oop(
+        self,
+        frame,
+        now: float,
+        fresh: bool = False,
+        fallback: bool = False,
+        budget_overflow: bool = False,
+    ) -> tuple[str, float]:
         """Conventional out-of-place page write.
 
         ``fresh`` marks a page's first materialization (an append to a
         new page in the paper's terms); observers report it as kind
         ``"new"`` so update-size statistics can exclude it, as the
-        paper's Appendix A does.
+        paper's Appendix A does.  ``fallback`` and ``budget_overflow``
+        carry the reason an IPA was not possible into telemetry.
         """
         page = frame.page
         body, meta = page.classify_tracked()
@@ -182,7 +210,13 @@ class IPAManager:
         overflowed = page.track_overflowed
         page.reset_tracking()
         self.stats.oop_flushes += 1
-        self._observe(frame.lpn, "new" if fresh else "oop", net, gross, overflowed)
+        kind = "new" if fresh else "oop"
+        self._observe(frame.lpn, kind, net, gross, overflowed)
+        if self.telemetry is not None:
+            self.telemetry.on_flush(
+                frame.lpn, kind, net, gross, overflowed, budget_overflow,
+                fallback, 0, 0, 0, io.latency_us,
+            )
         return "oop", io.latency_us
 
     def _program_delta_ecc(self, frame, records: list[bytes], data: bytes, offset: int) -> None:

@@ -16,7 +16,7 @@ class FlashChip:
     serialization and inter-chip parallelism.
     """
 
-    __slots__ = ("blocks", "busy_until")
+    __slots__ = ("blocks", "busy_until", "busy_time_us")
 
     def __init__(self, geometry: FlashGeometry, endurance: int | None = None) -> None:
         self.blocks = [
@@ -30,9 +30,25 @@ class FlashChip:
             for _ in range(geometry.blocks_per_chip)
         ]
         self.busy_until = 0.0
+        #: Accumulated command time on this pipeline, for utilization
+        #: reporting (exported as a per-chip telemetry gauge).
+        self.busy_time_us = 0.0
 
     def __len__(self) -> int:
         return len(self.blocks)
+
+    def occupy(self, start: float, duration_us: float) -> float:
+        """Run one command on the pipeline from ``start``.
+
+        Advances :attr:`busy_until` past the command and accumulates
+        :attr:`busy_time_us`; returns the command's end time.  Callers
+        are responsible for computing ``start`` as at least the current
+        :attr:`busy_until` (intra-chip serialization).
+        """
+        end = start + duration_us
+        self.busy_until = end
+        self.busy_time_us += duration_us
+        return end
 
     @property
     def cell_type(self) -> CellType:

@@ -81,6 +81,9 @@ class FlashMemory:
         self.enforce_program_order = enforce_program_order
         self.chips = [FlashChip(geometry, endurance=endurance) for _ in range(geometry.chips)]
         self.stats = FlashStats()
+        #: Telemetry handle (``repro.telemetry.Telemetry``); ``None``
+        #: keeps the command path free of any event work.
+        self.telemetry = None
 
     # ------------------------------------------------------------------
     # Addressing helpers
@@ -115,10 +118,15 @@ class FlashMemory:
         if length is None:
             length = self.geometry.page_size - offset
         data = bytes(page.data[offset : offset + length])
-        latency = self.latency.read(self.geometry.cell_type, self.page_kind(address), length)
+        kind = self.page_kind(address)
+        latency = self.latency.read(self.geometry.cell_type, kind, length)
         self.stats.page_reads += 1
         self.stats.bytes_read += length
         self.stats.busy_time_us += latency
+        if self.telemetry is not None:
+            self.telemetry.on_flash_op(
+                "read", address, self.geometry.cell_type, kind, length, latency
+            )
         return OpResult(data, latency)
 
     def read_oob(self, address: PhysicalAddress) -> bytes:
@@ -140,9 +148,8 @@ class FlashMemory:
         if first:
             block.note_first_program(address.page, self.enforce_program_order)
         page.program(data, offset)
-        latency = self.latency.program(
-            self.geometry.cell_type, self.page_kind(address), len(data)
-        )
+        kind = self.page_kind(address)
+        latency = self.latency.program(self.geometry.cell_type, kind, len(data))
         self.stats.bytes_programmed += len(data)
         self.stats.busy_time_us += latency
         if first:
@@ -150,6 +157,11 @@ class FlashMemory:
         else:
             self.stats.delta_programs += 1
             self._interfere_neighbours(address, offset, len(data))
+        if self.telemetry is not None:
+            self.telemetry.on_flash_op(
+                "program" if first else "delta_program",
+                address, self.geometry.cell_type, kind, len(data), latency,
+            )
         return OpResult(None, latency)
 
     def program_oob(self, address: PhysicalAddress, data: bytes, offset: int = 0) -> None:
@@ -166,6 +178,11 @@ class FlashMemory:
         latency = self.latency.erase(self.geometry.cell_type)
         self.stats.block_erases += 1
         self.stats.busy_time_us += latency
+        if self.telemetry is not None:
+            self.telemetry.on_flash_op(
+                "erase", PhysicalAddress(chip, block, 0),
+                self.geometry.cell_type, None, 0, latency,
+            )
         return OpResult(None, latency)
 
     # ------------------------------------------------------------------

@@ -35,6 +35,10 @@ class LatencyModel:
 
     transfer_us_per_kib: float = TRANSFER_US_PER_KIB
     overrides: dict = field(default_factory=dict)
+    #: Optional telemetry probe ``(op, cell_type, kind, latency_us)``
+    #: invoked for every computed latency; ``None`` (the default) keeps
+    #: the model observation-free with zero overhead beyond one check.
+    observer: object = None
 
     def _lookup(self, op: str, cell_type: CellType, kind: PageKind, table: dict) -> float:
         override = self.overrides.get((op, cell_type, kind))
@@ -48,7 +52,10 @@ class LatencyModel:
 
     def read(self, cell_type: CellType, kind: PageKind, num_bytes: int) -> float:
         """Latency of reading ``num_bytes`` from a page of the given kind."""
-        return self._lookup("read", cell_type, kind, READ_LATENCY_US) + self.transfer(num_bytes)
+        latency = self._lookup("read", cell_type, kind, READ_LATENCY_US) + self.transfer(num_bytes)
+        if self.observer is not None:
+            self.observer("read", cell_type, kind, latency)
+        return latency
 
     def program(self, cell_type: CellType, kind: PageKind, num_bytes: int) -> float:
         """Latency of a full or partial (ISPP append) page program.
@@ -59,11 +66,15 @@ class LatencyModel:
         treatment of partial writes ("a partial write of 512B has the
         same latency as a write of a whole 2KB flash page").
         """
-        return self._lookup("program", cell_type, kind, PROGRAM_LATENCY_US) + self.transfer(num_bytes)
+        latency = self._lookup("program", cell_type, kind, PROGRAM_LATENCY_US) + self.transfer(num_bytes)
+        if self.observer is not None:
+            self.observer("program", cell_type, kind, latency)
+        return latency
 
     def erase(self, cell_type: CellType) -> float:
         """Latency of a block erase."""
         override = self.overrides.get(("erase", cell_type, None))
-        if override is not None:
-            return override
-        return ERASE_LATENCY_US[cell_type]
+        latency = override if override is not None else ERASE_LATENCY_US[cell_type]
+        if self.observer is not None:
+            self.observer("erase", cell_type, None, latency)
+        return latency

@@ -99,6 +99,30 @@ def wear_aware(
     return policy
 
 
+def traced(base_policy: VictimPolicy, telemetry, region: str = "") -> VictimPolicy:
+    """Wrap a policy so each victim selection emits a telemetry event.
+
+    Intended for devices that do not emit GC decision events themselves
+    (e.g. :class:`~repro.ftl.blockdev.BlockSSD` or standalone policy
+    experiments); the NoFTL controller instruments its own GC loop and
+    does not need this wrapper.
+    """
+
+    def policy(
+        candidates: list[BlockKey],
+        mapping: PageMapping,
+        erase_counts: dict[BlockKey, int],
+    ) -> BlockKey | None:
+        victim = base_policy(candidates, mapping, erase_counts)
+        if victim is not None:
+            telemetry.on_gc_victim(
+                region, victim, mapping.valid_count(victim), len(candidates)
+            )
+        return victim
+
+    return policy
+
+
 POLICIES: dict[str, VictimPolicy] = {
     "greedy": greedy,
     "fifo": fifo,

@@ -57,6 +57,7 @@ class NoFTL:
         regions: list[Region],
         victim_policy: VictimPolicy = greedy,
         serialize_io: bool = False,
+        telemetry=None,
     ) -> None:
         self.flash = flash
         self.regions = regions
@@ -65,6 +66,11 @@ class NoFTL:
         #: OpenSSD-Jasmine mode: no NCQ, one host command at a time.
         self.serialize_io = serialize_io
         self.stats = DeviceStats()
+        #: Telemetry handle (``repro.telemetry.Telemetry``); ``None``
+        #: (the default) keeps every host command free of event work.
+        self.telemetry = None
+        if telemetry is not None:
+            telemetry.attach_device(self)
         self._device_busy_until = 0.0
         self._erase_counts: dict[BlockKey, int] = {}
 
@@ -79,6 +85,7 @@ class NoFTL:
         configs: list[RegionConfig],
         victim_policy: VictimPolicy = greedy,
         serialize_io: bool = False,
+        telemetry=None,
     ) -> "NoFTL":
         """Partition the flash array into the requested regions.
 
@@ -111,7 +118,10 @@ class NoFTL:
                     )
             regions.append(Region(config, geometry, lpn_start, blocks))
             lpn_start += config.logical_pages
-        return cls(flash, regions, victim_policy=victim_policy, serialize_io=serialize_io)
+        return cls(
+            flash, regions, victim_policy=victim_policy,
+            serialize_io=serialize_io, telemetry=telemetry,
+        )
 
     # ------------------------------------------------------------------
     # Region / address helpers
@@ -163,6 +173,8 @@ class NoFTL:
         self.stats.host_reads += 1
         self.stats.bytes_host_read += len(op.data)
         self.stats.read_latency_us_total += latency
+        if self.telemetry is not None:
+            self.telemetry.on_host_read(lpn, len(op.data), latency)
         return HostIO(op.data, latency)
 
     def write(self, lpn: int, data: bytes, now: float = 0.0) -> HostIO:
@@ -180,6 +192,8 @@ class NoFTL:
         self.stats.host_page_writes += 1
         self.stats.bytes_page_written += len(data)
         self.stats.write_latency_us_total += latency
+        if self.telemetry is not None:
+            self.telemetry.on_host_write(lpn, len(data), latency)
         return HostIO(None, latency)
 
     def can_write_delta(self, lpn: int, offset: int, length: int) -> bool:
@@ -225,6 +239,8 @@ class NoFTL:
         self.stats.delta_writes += 1
         self.stats.bytes_delta_written += len(data)
         self.stats.write_latency_us_total += latency
+        if self.telemetry is not None:
+            self.telemetry.on_write_delta(lpn, len(data), latency)
         return HostIO(None, latency)
 
     def write_oob(self, lpn: int, data: bytes, offset: int = 0) -> None:
@@ -251,6 +267,8 @@ class NoFTL:
         measures.
         """
         guard = 0
+        if self.telemetry is not None and region.needs_gc():
+            self.telemetry.on_gc_trigger(region.name, region.erased_available)
         while region.needs_gc():
             if not self._collect_one(region, now):
                 if region.erased_available <= 0:
@@ -281,6 +299,11 @@ class NoFTL:
             victim = region.retire_active(self.mapping)
             if victim is None:
                 return False
+        tele = self.telemetry
+        if tele is not None:
+            tele.on_gc_victim(
+                region.name, victim, self.mapping.valid_count(victim), len(candidates)
+            )
         gc_time = 0.0
         for lpn, address in self.mapping.valid_pages_in_block(victim):
             read_op = self.flash.read(address)
@@ -295,6 +318,8 @@ class NoFTL:
                 self.flash.program_oob(target, oob)
             self.mapping.bind(lpn, target)
             self.stats.gc_page_migrations += 1
+            if tele is not None:
+                tele.on_gc_migration(region.name, lpn, address, target)
         self.mapping.block_emptied(victim)
         erase_op = self.flash.erase(victim[0], victim[1])
         gc_time += self._busy(
@@ -303,6 +328,8 @@ class NoFTL:
         self._erase_counts[victim] = self._erase_counts.get(victim, 0) + 1
         self.stats.gc_erases += 1
         self.stats.gc_time_us_total += gc_time
+        if tele is not None:
+            tele.on_gc_erase(region.name, victim, gc_time)
         region.release_block(victim)
         return True
 
@@ -319,8 +346,7 @@ class NoFTL:
         start = max(now, chip.busy_until)
         if self.serialize_io:
             start = max(start, self._device_busy_until)
-        end = start + raw_latency
-        chip.busy_until = end
+        end = chip.occupy(start, raw_latency)
         if self.serialize_io:
             self._device_busy_until = end
         return end - now
@@ -335,7 +361,7 @@ class NoFTL:
         """
         chip = self.flash.chip_of(address)
         start = max(now, chip.busy_until)
-        chip.busy_until = start + raw_latency
+        chip.occupy(start, raw_latency)
         if self.serialize_io:
             self._device_busy_until = max(self._device_busy_until, chip.busy_until)
         return raw_latency
@@ -349,6 +375,7 @@ def single_region_device(
     victim_policy: VictimPolicy = greedy,
     serialize_io: bool = False,
     gc_reserve_blocks: int = 2,
+    telemetry=None,
 ) -> NoFTL:
     """A NoFTL device with one region spanning the whole logical space."""
     config = RegionConfig(
@@ -359,5 +386,6 @@ def single_region_device(
         gc_reserve_blocks=gc_reserve_blocks,
     )
     return NoFTL.create(
-        flash, [config], victim_policy=victim_policy, serialize_io=serialize_io
+        flash, [config], victim_policy=victim_policy,
+        serialize_io=serialize_io, telemetry=telemetry,
     )

@@ -75,6 +75,7 @@ class BufferPool:
         loader: Loader,
         flusher: Flusher,
         dirty_threshold: float = 0.125,
+        telemetry=None,
     ) -> None:
         if capacity < 1:
             raise BufferError_("buffer pool needs at least one frame")
@@ -84,6 +85,9 @@ class BufferPool:
         self._loader = loader
         self._flusher = flusher
         self.dirty_threshold = dirty_threshold
+        #: Telemetry handle (``repro.telemetry.Telemetry``); ``None``
+        #: keeps fetch/evict/clean free of any event work.
+        self.telemetry = telemetry
         #: lpn -> Frame; dict order is LRU order (front = coldest).
         self._frames: dict[int, Frame] = {}
         self._dirty_count = 0
@@ -128,6 +132,8 @@ class BufferPool:
             frame.pin_count += 1
             return frame, 0.0
         self.stats.misses += 1
+        if self.telemetry is not None:
+            self.telemetry.on_buffer("miss", lpn)
         latency = self._make_room(now)
         page, slots_used, read_latency = self._loader(lpn, now + latency)
         frame = Frame(lpn, page, slots_used)
@@ -176,11 +182,16 @@ class BufferPool:
         for lpn, frame in self._frames.items():
             if frame.pin_count == 0:
                 latency = 0.0
+                tele = self.telemetry
                 if frame.dirty:
                     __, latency = self._flush_frame(frame, now)
                     self.stats.evict_flushes += 1
+                    if tele is not None:
+                        tele.on_buffer("evict_flush", lpn)
                 del self._frames[lpn]
                 self.stats.evictions += 1
+                if tele is not None:
+                    tele.on_buffer("evict", lpn)
                 return latency
         raise BufferError_("every frame is pinned; cannot evict")
 
@@ -209,6 +220,8 @@ class BufferPool:
             if frame.dirty and frame.pin_count == 0:
                 self._flush_frame(frame, now)
                 self.stats.cleaner_flushes += 1
+                if self.telemetry is not None:
+                    self.telemetry.on_buffer("cleaner_flush", frame.lpn)
                 flushed += 1
         return flushed
 
@@ -219,6 +232,8 @@ class BufferPool:
             if frame.dirty:
                 self._flush_frame(frame, now)
                 self.stats.checkpoint_flushes += 1
+                if self.telemetry is not None:
+                    self.telemetry.on_buffer("checkpoint_flush", frame.lpn)
                 flushed += 1
         return flushed
 

@@ -68,10 +68,15 @@ class EngineConfig:
 class StorageEngine:
     """ACID storage engine over a NoFTL flash device."""
 
-    def __init__(self, device: NoFTL, config: EngineConfig | None = None) -> None:
+    def __init__(
+        self, device: NoFTL, config: EngineConfig | None = None, telemetry=None
+    ) -> None:
         self.device = device
         self.config = config if config is not None else EngineConfig()
         self.clock = 0.0
+        #: Telemetry handle (``repro.telemetry.Telemetry``); set via the
+        #: constructor or ``Telemetry.attach_engine``, ``None`` when off.
+        self.telemetry = telemetry
         #: Observers: fetch_observer(lpn), flush events flow through the
         #: IPA manager's observer (set via ``flush_observer``).
         self.fetch_observer: Callable[[int], None] | None = None
@@ -104,6 +109,8 @@ class StorageEngine:
         self.foreground_read_time_us = 0.0
         self.foreground_reads = 0
         self._page_free_space_hint: int | None = None
+        if telemetry is not None:
+            telemetry.attach_engine(self)
 
     # ------------------------------------------------------------------
     # Observers

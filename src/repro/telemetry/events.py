@@ -1,0 +1,227 @@
+"""Typed telemetry events and a lightweight synchronous event bus.
+
+The event vocabulary mirrors the layers of the stack:
+
+* :class:`FlashOpEvent` — raw NAND commands (read / program / ISPP
+  delta-program / erase) as executed by :class:`~repro.flash.memory.FlashMemory`.
+* :class:`HostIOEvent` — the NoFTL host command surface (``read``,
+  ``write``, ``write_delta``) with observed latencies, i.e. what the
+  paper's I/O tables are built from.
+* :class:`GCTriggerEvent` / :class:`GCVictimEvent` /
+  :class:`GCMigrationEvent` / :class:`GCEraseEvent` — the garbage
+  collector's decision stream.
+* :class:`FlushEvent` — engine flush outcomes (IPA vs. out-of-place vs.
+  skipped), including budget overflows and device fallbacks.
+* :class:`BufferEvent` — buffer-pool activity (misses, evictions,
+  cleaner and checkpoint flushes).
+
+Events are plain ``slots`` dataclasses so they serialize trivially
+(:func:`dataclasses.asdict`) and allocate cheaply.  The bus is
+synchronous and in-process: ``emit`` simply calls every handler.  The
+whole module has **zero** third-party dependencies.
+
+The hot-path contract is *null-sink short-circuiting*: instrumented
+code must check :attr:`EventBus.active` (or that its telemetry handle
+is ``None``) **before** constructing an event, so a run with telemetry
+disabled performs no event allocations at all — this is enforced by
+``tests/test_telemetry_overhead.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Callable, Type
+
+
+@dataclass(slots=True)
+class TelemetryEvent:
+    """Base class of every telemetry event (see subclasses)."""
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation: ``{"event": <type>, ...fields}``."""
+        data = {"event": type(self).__name__}
+        data.update(asdict(self))
+        return data
+
+
+@dataclass(slots=True)
+class FlashOpEvent(TelemetryEvent):
+    """One raw NAND command executed by the flash array.
+
+    ``op`` is ``"read"``, ``"program"``, ``"delta_program"`` or
+    ``"erase"``; ``kind`` is the page kind (``"lsb"`` / ``"msb"``) or
+    ``None`` for erases, which address whole blocks.
+    """
+
+    op: str = ""
+    chip: int = 0
+    block: int = 0
+    page: int = 0
+    cell_type: str = ""
+    kind: str | None = None
+    num_bytes: int = 0
+    latency_us: float = 0.0
+
+
+@dataclass(slots=True)
+class HostIOEvent(TelemetryEvent):
+    """One host command observed at the NoFTL interface.
+
+    ``op`` is ``"read"``, ``"write"`` or ``"write_delta"``; the latency
+    is the *observed* one (raw cost plus chip queueing delay).
+    """
+
+    op: str = ""
+    lpn: int = 0
+    num_bytes: int = 0
+    latency_us: float = 0.0
+
+
+@dataclass(slots=True)
+class GCTriggerEvent(TelemetryEvent):
+    """A region crossed its GC reserve and collection is about to run."""
+
+    region: str = ""
+    erased_available: int = 0
+
+
+@dataclass(slots=True)
+class GCVictimEvent(TelemetryEvent):
+    """The collector picked a victim block.
+
+    ``candidates`` is the size of the candidate set the policy chose
+    from, ``valid_pages`` the number of still-valid pages that must be
+    migrated before the erase.
+    """
+
+    region: str = ""
+    chip: int = 0
+    block: int = 0
+    valid_pages: int = 0
+    candidates: int = 0
+
+
+@dataclass(slots=True)
+class GCMigrationEvent(TelemetryEvent):
+    """One valid page moved out of a victim block during GC."""
+
+    region: str = ""
+    lpn: int = 0
+    src_chip: int = 0
+    src_block: int = 0
+    dst_chip: int = 0
+    dst_block: int = 0
+
+
+@dataclass(slots=True)
+class GCEraseEvent(TelemetryEvent):
+    """A victim block was erased; ``gc_time_us`` covers the whole round."""
+
+    region: str = ""
+    chip: int = 0
+    block: int = 0
+    gc_time_us: float = 0.0
+
+
+@dataclass(slots=True)
+class FlushEvent(TelemetryEvent):
+    """One engine flush outcome.
+
+    ``kind`` is ``"ipa"``, ``"oop"``, ``"new"`` (first materialization)
+    or ``"skip"``; ``overflowed`` marks tracked-change overflow,
+    ``budget_overflow`` a [N x M] budget miss, and ``fallback`` an IPA
+    attempt the device rejected (e.g. MSB residency under odd-MLC);
+    ``records`` counts the delta records encoded by an IPA flush.
+    ``appends`` is the page's delta-slot occupancy after the flush (the
+    paper's :math:`N_E`).
+    """
+
+    lpn: int = 0
+    kind: str = ""
+    net: int = 0
+    gross: int = 0
+    overflowed: bool = False
+    budget_overflow: bool = False
+    fallback: bool = False
+    records: int = 0
+    appends: int = 0
+    latency_us: float = 0.0
+
+
+@dataclass(slots=True)
+class BufferEvent(TelemetryEvent):
+    """Buffer-pool activity: ``action`` is ``"miss"``, ``"evict"``,
+    ``"evict_flush"``, ``"cleaner_flush"`` or ``"checkpoint_flush"``."""
+
+    action: str = ""
+    lpn: int = 0
+
+
+#: Every concrete event type, for exporters and trace replay.
+EVENT_TYPES: tuple[Type[TelemetryEvent], ...] = (
+    FlashOpEvent,
+    HostIOEvent,
+    GCTriggerEvent,
+    GCVictimEvent,
+    GCMigrationEvent,
+    GCEraseEvent,
+    FlushEvent,
+    BufferEvent,
+)
+
+#: Event-type name -> class, for decoding serialized traces.
+EVENT_BY_NAME: dict[str, Type[TelemetryEvent]] = {
+    cls.__name__: cls for cls in EVENT_TYPES
+}
+
+Handler = Callable[[TelemetryEvent], None]
+
+
+class EventBus:
+    """Synchronous publish/subscribe dispatcher for telemetry events.
+
+    Handlers subscribe either to one event type or to everything
+    (:meth:`subscribe_all`).  :attr:`active` is the hot-path guard:
+    instrumentation must not even *construct* an event while it is
+    ``False``.
+    """
+
+    __slots__ = ("_by_type", "_any", "events_emitted")
+
+    def __init__(self) -> None:
+        self._by_type: dict[type, list[Handler]] = {}
+        self._any: list[Handler] = []
+        #: Total events dispatched over this bus's lifetime.
+        self.events_emitted = 0
+
+    @property
+    def active(self) -> bool:
+        """Whether any handler is subscribed (the null-sink guard)."""
+        return bool(self._any) or bool(self._by_type)
+
+    def subscribe(self, event_type: type, handler: Handler) -> Handler:
+        """Register ``handler`` for one event type; returns the handler."""
+        self._by_type.setdefault(event_type, []).append(handler)
+        return handler
+
+    def subscribe_all(self, handler: Handler) -> Handler:
+        """Register ``handler`` for every event; returns the handler."""
+        self._any.append(handler)
+        return handler
+
+    def unsubscribe(self, handler: Handler) -> None:
+        """Remove a handler wherever it is registered (no-op if absent)."""
+        if handler in self._any:
+            self._any.remove(handler)
+        for handlers in list(self._by_type.values()):
+            if handler in handlers:
+                handlers.remove(handler)
+        self._by_type = {t: hs for t, hs in self._by_type.items() if hs}
+
+    def emit(self, event: TelemetryEvent) -> None:
+        """Dispatch one event to all matching handlers, in order."""
+        self.events_emitted += 1
+        for handler in self._any:
+            handler(event)
+        for handler in self._by_type.get(type(event), ()):
+            handler(event)

@@ -1,0 +1,232 @@
+"""Telemetry exporters: JSONL traces, CSV summaries, Prometheus text.
+
+Three machine-readable views of one run:
+
+* :class:`JsonlTraceWriter` — subscribes to the event bus and writes
+  one JSON object per event; :func:`read_jsonl_trace` loads such a
+  stream back and :func:`aggregate_trace` folds it into the same
+  counters :meth:`DeviceStats.snapshot` / :meth:`IPAStats.snapshot`
+  report, which is how trace completeness is verified.
+* :func:`csv_summary` — a ``name,type,value`` table of a registry.
+* :func:`prometheus_text` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` headers, cumulative ``le`` buckets with
+  ``_sum`` and ``_count`` series), suitable for a node-exporter-style
+  scrape file.
+
+Everything is stdlib-only.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+import re
+
+from .events import EventBus, TelemetryEvent
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+#: Header line identifying a repro JSONL trace stream.
+TRACE_HEADER = {"event": "TraceHeader", "format": "repro-jsonl-trace", "version": 1}
+
+_INVALID_METRIC_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+class JsonlTraceWriter:
+    """Event-bus sink writing one JSON line per event.
+
+    Open over a path or an existing text file object; subscribe with
+    :meth:`attach` (or pass the writer to ``bus.subscribe_all``
+    directly — it is callable).  The stream starts with a header line
+    so readers can reject foreign files.
+    """
+
+    def __init__(self, target) -> None:
+        if hasattr(target, "write"):
+            self._file = target
+            self._owns = False
+        else:
+            self._file = open(target, "w", encoding="utf-8")
+            self._owns = True
+        self._bus: EventBus | None = None
+        self.events_written = 0
+        self._file.write(json.dumps(TRACE_HEADER) + "\n")
+
+    def __call__(self, event: TelemetryEvent) -> None:
+        """Serialize one event (the bus-handler entry point)."""
+        self._file.write(json.dumps(event.to_dict()) + "\n")
+        self.events_written += 1
+
+    def attach(self, bus: EventBus) -> "JsonlTraceWriter":
+        """Subscribe to every event on ``bus``; returns self."""
+        bus.subscribe_all(self)
+        self._bus = bus
+        return self
+
+    def close(self) -> None:
+        """Detach from the bus and close the file (if owned)."""
+        if self._bus is not None:
+            self._bus.unsubscribe(self)
+            self._bus = None
+        self._file.flush()
+        if self._owns:
+            self._file.close()
+
+    def __enter__(self) -> "JsonlTraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_jsonl_trace(path) -> list[dict]:
+    """Load a JSONL trace; returns the event dicts (header stripped).
+
+    Raises ``ValueError`` on a missing/foreign header so corrupted
+    files fail loudly rather than aggregating to nonsense.
+    """
+    events: list[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        first = handle.readline()
+        try:
+            header = json.loads(first) if first.strip() else {}
+        except json.JSONDecodeError:
+            header = {}
+        if header.get("format") != TRACE_HEADER["format"]:
+            raise ValueError(f"{path}: not a repro JSONL trace")
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def aggregate_trace(events: list[dict]) -> dict:
+    """Fold a trace back into device- and IPA-level counters.
+
+    The returned keys deliberately match the raw-counter keys of
+    :meth:`DeviceStats.snapshot` and :meth:`IPAStats.snapshot`: a
+    complete trace aggregates to exactly the run's final counters
+    (the replayability acceptance check).
+    """
+    agg = {
+        "host_reads": 0,
+        "host_page_writes": 0,
+        "delta_writes": 0,
+        "gc_page_migrations": 0,
+        "gc_erases": 0,
+        "bytes_host_read": 0,
+        "bytes_page_written": 0,
+        "bytes_delta_written": 0,
+        "read_latency_us_total": 0.0,
+        "write_latency_us_total": 0.0,
+        "gc_time_us_total": 0.0,
+        "ipa_flushes": 0,
+        "oop_flushes": 0,
+        "skipped_flushes": 0,
+        "delta_records_written": 0,
+        "delta_bytes_written": 0,
+        "budget_overflows": 0,
+        "device_fallbacks": 0,
+    }
+    for event in events:
+        name = event.get("event")
+        if name == "HostIOEvent":
+            op = event["op"]
+            if op == "read":
+                agg["host_reads"] += 1
+                agg["bytes_host_read"] += event["num_bytes"]
+                agg["read_latency_us_total"] += event["latency_us"]
+            elif op == "write":
+                agg["host_page_writes"] += 1
+                agg["bytes_page_written"] += event["num_bytes"]
+                agg["write_latency_us_total"] += event["latency_us"]
+            elif op == "write_delta":
+                agg["delta_writes"] += 1
+                agg["bytes_delta_written"] += event["num_bytes"]
+                # The IPA manager's payload accounting mirrors the
+                # device's: both count the encoded record bytes.
+                agg["delta_bytes_written"] += event["num_bytes"]
+                agg["write_latency_us_total"] += event["latency_us"]
+        elif name == "GCMigrationEvent":
+            agg["gc_page_migrations"] += 1
+        elif name == "GCEraseEvent":
+            agg["gc_erases"] += 1
+            agg["gc_time_us_total"] += event["gc_time_us"]
+        elif name == "FlushEvent":
+            kind = event["kind"]
+            if kind == "ipa":
+                agg["ipa_flushes"] += 1
+                agg["delta_records_written"] += event.get("records", 0)
+            elif kind in ("oop", "new"):
+                agg["oop_flushes"] += 1
+            elif kind == "skip":
+                agg["skipped_flushes"] += 1
+            if event.get("budget_overflow"):
+                agg["budget_overflows"] += 1
+            if event.get("fallback"):
+                agg["device_fallbacks"] += 1
+    return agg
+
+
+def _metric_name(name: str) -> str:
+    """Sanitize a metric name for the Prometheus exposition format."""
+    cleaned = _INVALID_METRIC_CHARS.sub("_", name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-style number rendering (+Inf, integers without .0)."""
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if value.is_integer():
+            return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render a registry in the Prometheus text exposition format."""
+    out = io.StringIO()
+    for metric in registry:
+        name = _metric_name(metric.name)
+        if metric.help:
+            out.write(f"# HELP {name} {metric.help}\n")
+        if isinstance(metric, Counter):
+            out.write(f"# TYPE {name} counter\n")
+            out.write(f"{name} {_format_value(metric.value)}\n")
+        elif isinstance(metric, Gauge):
+            out.write(f"# TYPE {name} gauge\n")
+            out.write(f"{name} {_format_value(metric.value)}\n")
+        elif isinstance(metric, Histogram):
+            out.write(f"# TYPE {name} histogram\n")
+            for bound, cumulative in metric.cumulative_counts():
+                le = "+Inf" if math.isinf(bound) else _format_value(bound)
+                out.write(f'{name}_bucket{{le="{le}"}} {cumulative}\n')
+            out.write(f"{name}_sum {_format_value(metric.sum)}\n")
+            out.write(f"{name}_count {metric.count}\n")
+    return out.getvalue()
+
+
+def csv_summary(registry: MetricsRegistry) -> str:
+    """Render a registry as ``name,type,value`` CSV rows.
+
+    Histograms contribute one ``<name>_sum`` and one ``<name>_count``
+    row plus a row per cumulative bucket (``<name>_le_<bound>``), so
+    the CSV is loss-free with respect to the Prometheus dump.
+    """
+    lines = ["name,type,value"]
+    for metric in registry:
+        if isinstance(metric, Counter):
+            lines.append(f"{metric.name},counter,{metric.value}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"{metric.name},gauge,{metric.value}")
+        elif isinstance(metric, Histogram):
+            for bound, cumulative in metric.cumulative_counts():
+                label = "inf" if math.isinf(bound) else _format_value(bound)
+                lines.append(f"{metric.name}_le_{label},histogram,{cumulative}")
+            lines.append(f"{metric.name}_sum,histogram,{metric.sum}")
+            lines.append(f"{metric.name}_count,histogram,{metric.count}")
+    return "\n".join(lines) + "\n"

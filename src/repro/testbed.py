@@ -56,6 +56,7 @@ def emulator_device(
     page_size: int = 4096,
     pages_per_block: int = 64,
     overprovisioning: float = 0.10,
+    telemetry=None,
 ) -> NoFTL:
     """The Section 8.1 flash emulator: 16 SLC chips, 10% OP."""
     geometry = _geometry_for(
@@ -68,6 +69,7 @@ def emulator_device(
         logical_pages=logical_pages,
         ipa_mode=mode,
         overprovisioning=overprovisioning,
+        telemetry=telemetry,
     )
 
 
@@ -78,6 +80,7 @@ def openssd_device(
     page_size: int = 4096,
     pages_per_block: int = 64,
     overprovisioning: float = 0.10,
+    telemetry=None,
 ) -> NoFTL:
     """The OpenSSD Jasmine board: MLC flash, serialized host I/O."""
     geometry = _geometry_for(
@@ -90,6 +93,7 @@ def openssd_device(
         ipa_mode=mode,
         overprovisioning=overprovisioning,
         serialize_io=True,
+        telemetry=telemetry,
     )
 
 
@@ -98,9 +102,14 @@ def build_engine(
     scheme: NxMScheme = SCHEME_OFF,
     buffer_pages: int | None = None,
     eviction: str = "eager",
+    telemetry=None,
     **config_kwargs,
 ) -> StorageEngine:
-    """An engine over ``device``; buffer defaults to half the device."""
+    """An engine over ``device``; buffer defaults to half the device.
+
+    Pass a :class:`~repro.telemetry.Telemetry` instance to instrument
+    the whole stack (flash array, NoFTL, IPA manager, buffer pool).
+    """
     if buffer_pages is None:
         buffer_pages = max(8, device.logical_pages // 2)
     config = EngineConfig(
@@ -109,7 +118,7 @@ def build_engine(
         eviction=eviction,
         **config_kwargs,
     )
-    return StorageEngine(device, config)
+    return StorageEngine(device, config, telemetry=telemetry)
 
 
 def load_scaled(

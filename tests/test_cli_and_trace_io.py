@@ -105,6 +105,38 @@ class TestCLI:
         assert main(["trace-replay", str(trace)]) == 1
 
 
+class TestTelemetryCommands:
+    def test_trace_command_writes_verified_stream(self, tmp_path, capsys):
+        from repro.telemetry.export import aggregate_trace, read_jsonl_trace
+
+        out = tmp_path / "run.jsonl"
+        code = main(["trace", "--workload", "tpcb", "--txns", "300",
+                     "--buffer", "0.3", "--out", str(out)])
+        assert code == 0
+        assert "trace verified" in capsys.readouterr().out
+        events = read_jsonl_trace(out)
+        assert events
+        assert aggregate_trace(events)["host_reads"] > 0
+
+    def test_metrics_command_prometheus_to_stdout(self, capsys):
+        code = main(["metrics", "--workload", "tpcb", "--txns", "300",
+                     "--buffer", "0.3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE host_write_latency_us histogram" in out
+        assert 'host_write_latency_us_bucket{le="+Inf"}' in out
+        assert "# TYPE device_host_reads counter" in out
+
+    def test_metrics_command_csv_to_file(self, tmp_path, capsys):
+        out = tmp_path / "metrics.csv"
+        code = main(["metrics", "--workload", "tatp", "--txns", "300",
+                     "--format", "csv", "--out", str(out)])
+        assert code == 0
+        lines = out.read_text().splitlines()
+        assert lines[0] == "name,type,value"
+        assert any(line.startswith("host_write_latency_us_count,") for line in lines)
+
+
 class TestCLIErrors:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):

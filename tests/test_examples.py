@@ -21,6 +21,7 @@ CASES = [
     ("conventional_ssd.py", []),
     ("tpcc_demo.py", ["400"]),
     ("advisor_demo.py", ["800"]),
+    ("telemetry_demo.py", ["400"]),
 ]
 
 

@@ -1,0 +1,85 @@
+"""Unit tests for the telemetry event types and event bus."""
+
+import pytest
+
+from repro.telemetry.events import (
+    EVENT_BY_NAME,
+    EVENT_TYPES,
+    EventBus,
+    FlashOpEvent,
+    FlushEvent,
+    GCVictimEvent,
+    HostIOEvent,
+)
+
+
+class TestEventTypes:
+    def test_to_dict_carries_type_and_fields(self):
+        event = HostIOEvent(op="read", lpn=7, num_bytes=4096, latency_us=66.0)
+        data = event.to_dict()
+        assert data["event"] == "HostIOEvent"
+        assert data["op"] == "read"
+        assert data["lpn"] == 7
+        assert data["num_bytes"] == 4096
+        assert data["latency_us"] == 66.0
+
+    def test_registry_covers_every_type(self):
+        assert set(EVENT_BY_NAME) == {cls.__name__ for cls in EVENT_TYPES}
+
+    def test_events_use_slots(self):
+        event = FlashOpEvent(op="read")
+        with pytest.raises((AttributeError, TypeError)):
+            event.unexpected_attribute = 1
+
+    def test_flush_event_flags(self):
+        event = FlushEvent(lpn=3, kind="oop", budget_overflow=True)
+        assert event.to_dict()["budget_overflow"] is True
+        assert event.to_dict()["fallback"] is False
+
+
+class TestEventBus:
+    def test_inactive_without_subscribers(self):
+        bus = EventBus()
+        assert not bus.active
+
+    def test_typed_subscription_filters(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(HostIOEvent, seen.append)
+        assert bus.active
+        bus.emit(HostIOEvent(op="read", lpn=1))
+        bus.emit(GCVictimEvent(region="r"))
+        assert len(seen) == 1
+        assert isinstance(seen[0], HostIOEvent)
+
+    def test_subscribe_all_sees_everything(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe_all(seen.append)
+        bus.emit(HostIOEvent(op="read"))
+        bus.emit(GCVictimEvent(region="r"))
+        assert len(seen) == 2
+        assert bus.events_emitted == 2
+
+    def test_unsubscribe_typed_and_all(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(HostIOEvent, seen.append)
+        bus.subscribe_all(seen.append)
+        bus.unsubscribe(seen.append)
+        assert not bus.active
+        bus.emit(HostIOEvent(op="read"))
+        assert seen == []
+
+    def test_unsubscribe_unknown_handler_is_noop(self):
+        bus = EventBus()
+        bus.unsubscribe(lambda e: None)
+        assert not bus.active
+
+    def test_handlers_called_in_order(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe_all(lambda e: order.append("all"))
+        bus.subscribe(HostIOEvent, lambda e: order.append("typed"))
+        bus.emit(HostIOEvent(op="read"))
+        assert order == ["all", "typed"]

@@ -1,0 +1,145 @@
+"""Unit tests for the JSONL, CSV, and Prometheus exporters."""
+
+import io
+import json
+import re
+
+import pytest
+
+from repro.telemetry.events import EventBus, FlushEvent, HostIOEvent
+from repro.telemetry.export import (
+    JsonlTraceWriter,
+    aggregate_trace,
+    csv_summary,
+    prometheus_text,
+    read_jsonl_trace,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+
+class TestJsonlTrace:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        bus = EventBus()
+        with JsonlTraceWriter(path).attach(bus) as writer:
+            bus.emit(HostIOEvent(op="read", lpn=1, num_bytes=4096, latency_us=66.0))
+            bus.emit(FlushEvent(lpn=1, kind="ipa", records=2))
+            assert writer.events_written == 2
+        events = read_jsonl_trace(path)
+        assert [e["event"] for e in events] == ["HostIOEvent", "FlushEvent"]
+        assert events[0]["latency_us"] == 66.0
+        assert events[1]["records"] == 2
+
+    def test_close_detaches_from_bus(self, tmp_path):
+        bus = EventBus()
+        writer = JsonlTraceWriter(tmp_path / "t.jsonl").attach(bus)
+        writer.close()
+        assert not bus.active
+        bus.emit(HostIOEvent(op="read"))  # must not reach the closed file
+
+    def test_writes_to_existing_file_object(self):
+        buffer = io.StringIO()
+        writer = JsonlTraceWriter(buffer)
+        writer(HostIOEvent(op="read", lpn=3))
+        writer.close()
+        lines = buffer.getvalue().splitlines()
+        assert json.loads(lines[0])["format"] == "repro-jsonl-trace"
+        assert json.loads(lines[1])["lpn"] == 3
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"something": "else"}\n')
+        with pytest.raises(ValueError):
+            read_jsonl_trace(path)
+        path.write_text("not json at all\n")
+        with pytest.raises(ValueError):
+            read_jsonl_trace(path)
+
+
+class TestAggregateTrace:
+    def test_host_io_and_flush_folding(self):
+        events = [
+            HostIOEvent(op="read", lpn=1, num_bytes=4096, latency_us=10.0).to_dict(),
+            HostIOEvent(op="write", lpn=1, num_bytes=4096, latency_us=20.0).to_dict(),
+            HostIOEvent(op="write_delta", lpn=1, num_bytes=12, latency_us=5.0).to_dict(),
+            FlushEvent(lpn=1, kind="ipa", records=3).to_dict(),
+            FlushEvent(lpn=2, kind="new").to_dict(),
+            FlushEvent(lpn=3, kind="oop", budget_overflow=True).to_dict(),
+            FlushEvent(lpn=4, kind="skip").to_dict(),
+            FlushEvent(lpn=5, kind="oop", fallback=True).to_dict(),
+        ]
+        agg = aggregate_trace(events)
+        assert agg["host_reads"] == 1
+        assert agg["host_page_writes"] == 1
+        assert agg["delta_writes"] == 1
+        assert agg["bytes_delta_written"] == 12
+        assert agg["delta_bytes_written"] == 12
+        assert agg["write_latency_us_total"] == 25.0
+        assert agg["ipa_flushes"] == 1
+        assert agg["delta_records_written"] == 3
+        assert agg["oop_flushes"] == 3  # "new" counts as out-of-place
+        assert agg["skipped_flushes"] == 1
+        assert agg["budget_overflows"] == 1
+        assert agg["device_fallbacks"] == 1
+
+
+def _sample_registry():
+    registry = MetricsRegistry()
+    registry.counter("device_host_reads", help="Host reads").inc(5)
+    registry.gauge("buffer_dirty_fraction").set(0.25)
+    hist = registry.histogram("host_read_latency_us", buckets=(50, 100), help="lat")
+    hist.observe(30)
+    hist.observe(80)
+    hist.observe(500)
+    return registry
+
+
+class TestPrometheusText:
+    def test_format_is_valid(self):
+        text = prometheus_text(_sample_registry())
+        assert "# TYPE device_host_reads counter\n" in text
+        assert "device_host_reads 5\n" in text
+        assert "# TYPE buffer_dirty_fraction gauge\n" in text
+        assert "# TYPE host_read_latency_us histogram\n" in text
+        assert 'host_read_latency_us_bucket{le="50"} 1\n' in text
+        assert 'host_read_latency_us_bucket{le="100"} 2\n' in text
+        assert 'host_read_latency_us_bucket{le="+Inf"} 3\n' in text
+        assert "host_read_latency_us_sum 610\n" in text
+        assert "host_read_latency_us_count 3\n" in text
+        assert "# HELP device_host_reads Host reads\n" in text
+
+    def test_every_line_is_well_formed(self):
+        line_re = re.compile(
+            r"^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+"
+            r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{le=\"[^\"]+\"\})? -?[0-9eE.+]+|\+Inf)$"
+        )
+        for line in prometheus_text(_sample_registry()).splitlines():
+            assert line_re.match(line), line
+
+    def test_bucket_counts_are_monotonic(self):
+        text = prometheus_text(_sample_registry())
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if "_bucket{" in line
+        ]
+        assert counts == sorted(counts)
+
+    def test_metric_names_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("chip 0.busy-time").inc()
+        text = prometheus_text(registry)
+        assert "chip_0_busy_time 1\n" in text
+
+
+class TestCsvSummary:
+    def test_rows(self):
+        text = csv_summary(_sample_registry())
+        lines = text.strip().splitlines()
+        assert lines[0] == "name,type,value"
+        assert "device_host_reads,counter,5" in lines
+        assert "buffer_dirty_fraction,gauge,0.25" in lines
+        assert "host_read_latency_us_le_50,histogram,1" in lines
+        assert "host_read_latency_us_le_inf,histogram,3" in lines
+        assert any(line.startswith("host_read_latency_us_sum,") for line in lines)
+        assert "host_read_latency_us_count,histogram,3" in lines
