@@ -18,7 +18,7 @@ evaluation.  They share:
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.analysis import UpdateSizeCollector

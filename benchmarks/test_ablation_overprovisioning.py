@@ -15,7 +15,7 @@ cost-benefit).
 
 import pytest
 
-from _shared import WORKLOADS, publish
+from _shared import publish
 from repro.analysis import format_table
 from repro.core import NxMScheme, SCHEME_OFF
 from repro.ftl.gc import get_policy

@@ -40,7 +40,7 @@ from .telemetry.export import (
     prometheus_text,
     read_jsonl_trace,
 )
-from .testbed import build_engine, emulator_device, load_scaled, openssd_device
+from .testbed import BACKENDS, build_engine, load_scaled, make_device
 from .workloads import (
     LinkBench,
     TATP,
@@ -73,11 +73,14 @@ def parse_scheme(text: str) -> NxMScheme:
 
 def _build(args, scheme, record_trace=False, telemetry=None):
     workload_cls, logical_pages, log_capacity = WORKLOADS[args.workload]
-    if args.platform == "openssd":
-        mode = IPAMode.PSLC if args.mode == "pslc" else IPAMode.ODD_MLC
-        device = openssd_device(logical_pages, mode=mode)
-    else:
-        device = emulator_device(logical_pages)
+    mode = IPAMode.PSLC if args.mode == "pslc" else IPAMode.ODD_MLC
+    device = make_device(
+        getattr(args, "backend", "noftl"),
+        logical_pages,
+        platform=args.platform,
+        mode=mode,
+        shards=getattr(args, "shards", 4),
+    )
     engine = build_engine(
         device, scheme=scheme, buffer_pages=logical_pages,
         eviction=args.eviction, log_capacity_bytes=log_capacity,
@@ -112,14 +115,22 @@ def _run_rows(result):
     ]
 
 
+def _backend_label(args) -> str:
+    backend = getattr(args, "backend", "noftl")
+    if backend == "sharded":
+        return f"sharded[{getattr(args, 'shards', 4)}]"
+    return backend
+
+
 def cmd_run(args) -> int:
     """``repro run``: one configuration, one stats table."""
     engine, driver, __, __ = _build(args, args.scheme)
     result = driver.run(args.txns)
     print(format_table(
         ["metric", "value"], _run_rows(result),
-        title=(f"{args.workload} on {args.platform}, scheme {args.scheme}, "
-               f"buffer {args.buffer:.0%}, {args.eviction} eviction"),
+        title=(f"{args.workload} on {args.platform} ({_backend_label(args)}), "
+               f"scheme {args.scheme}, buffer {args.buffer:.0%}, "
+               f"{args.eviction} eviction"),
     ))
     return 0
 
@@ -133,10 +144,11 @@ def cmd_compare(args) -> int:
         results[label] = driver.run(args.txns)
     base_rows = _run_rows(results["base"])
     ipa_rows = _run_rows(results["ipa"])
+    backend = _backend_label(args)
     for (name, base), (__, ipa) in zip(base_rows, ipa_rows):
-        rows.append([name, base, ipa, relative_change(base, ipa)])
+        rows.append([backend, name, base, ipa, relative_change(base, ipa)])
     print(format_table(
-        ["metric", "[0x0]", f"{args.scheme}", "change %"], rows,
+        ["backend", "metric", "[0x0]", f"{args.scheme}", "change %"], rows,
         title=f"{args.workload}: no IPA vs {args.scheme} "
               f"(buffer {args.buffer:.0%})",
     ))
@@ -149,7 +161,7 @@ def cmd_advise(args) -> int:
     engine, driver, collector, __ = _build(args, SCHEME_OFF)
     driver.run(args.txns)
     advisor = IPAAdvisor.from_collector(
-        collector, cell_type=engine.device.flash.geometry.cell_type,
+        collector, cell_type=engine.device.cell_type,
         page_size=engine.page_size,
     )
     print(f"profiled {len(collector)} update I/Os of {args.workload}")
@@ -221,7 +233,7 @@ def cmd_trace(args) -> int:
         events_written = writer.events_written
     events = read_jsonl_trace(args.out)
     aggregated = aggregate_trace(events)
-    device = engine.device.stats.snapshot()
+    device = engine.device.snapshot()
     ipa = engine.ipa.stats.snapshot()
     mismatches = [
         key
@@ -296,6 +308,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--mode", choices=("pslc", "odd-mlc"), default="odd-mlc",
                        help="IPA mode for the openssd platform")
         p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--backend", choices=BACKENDS, default="noftl",
+                       help="storage backend the engine runs on")
+        p.add_argument("--shards", type=int, default=4,
+                       help="controller count for the sharded backend")
 
     p = sub.add_parser("run", help="run one configuration")
     common(p)

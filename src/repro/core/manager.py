@@ -23,8 +23,8 @@ from __future__ import annotations
 from typing import Callable
 
 from ..errors import DeltaWriteError, IPAError
-from ..flash.ecc import CODE_SIZE, EccSegment, SegmentedEcc
-from ..ftl.noftl import NoFTL
+from ..flash.ecc import EccSegment, SegmentedEcc
+from ..ftl.device import FlashDevice
 from . import delta
 from .scheme import NxMScheme, SCHEME_OFF
 from .stats import IPAStats
@@ -39,7 +39,7 @@ class IPAManager:
 
     def __init__(
         self,
-        device: NoFTL,
+        device: FlashDevice,
         scheme: NxMScheme = SCHEME_OFF,
         ecc_enabled: bool = False,
         flush_observer: FlushObserver | None = None,
@@ -70,7 +70,7 @@ class IPAManager:
                 segments.append(
                     EccSegment(scheme.slot_offset(index, page_size), scheme.record_size)
                 )
-        return SegmentedEcc(segments, self.device.flash.geometry.oob_size)
+        return SegmentedEcc(segments, self.device.oob_size)
 
     # ------------------------------------------------------------------
     # Load path

@@ -9,7 +9,7 @@ and hosts the optional fault injector.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import EraseError
 from .chip import FlashChip

@@ -5,18 +5,39 @@ page-level logical-to-physical mapping, out-of-place writes, greedy
 garbage collection with over-provisioning, NoFTL *regions* with
 per-region IPA modes, and the new ``write_delta`` command that appends
 a delta record onto the physical page a logical page already occupies.
+
+The host-facing surface of every backend is the
+:class:`~repro.ftl.device.FlashDevice` protocol; three implementations
+conform: :class:`NoFTL` (native), :class:`BlockSSD` (black-box SSD with
+retrofitted delta-writes, paper Section 7) and :class:`ShardedDevice`
+(K independent controllers behind one striped logical space).
 """
 
 from .blockdev import BlockSSD, BlockSSDStats
+from .device import (
+    DERIVED_SNAPSHOT_KEYS,
+    FlashDevice,
+    HostIO,
+    HostRegionView,
+    iter_shard_views,
+    merge_snapshots,
+)
 from .gc import POLICIES, cost_benefit, fifo, get_policy, greedy, wear_aware
 from .mapping import BlockKey, PageMapping
-from .noftl import HostIO, NoFTL, single_region_device
+from .noftl import NoFTL, single_region_device
 from .region import IPAMode, Region, RegionConfig, blocks_needed
+from .sharded import ShardedDevice, ShardedStats
 from .stats import DeviceStats
 
 __all__ = [
     "BlockSSD",
     "BlockSSDStats",
+    "DERIVED_SNAPSHOT_KEYS",
+    "FlashDevice",
+    "HostIO",
+    "HostRegionView",
+    "iter_shard_views",
+    "merge_snapshots",
     "POLICIES",
     "cost_benefit",
     "fifo",
@@ -25,12 +46,13 @@ __all__ = [
     "wear_aware",
     "BlockKey",
     "PageMapping",
-    "HostIO",
     "NoFTL",
     "single_region_device",
     "IPAMode",
     "Region",
     "RegionConfig",
     "blocks_needed",
+    "ShardedDevice",
+    "ShardedStats",
     "DeviceStats",
 ]

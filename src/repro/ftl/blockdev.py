@@ -25,35 +25,111 @@ The device decides what actually happens:
 The comparison of fallback rates and latencies between :class:`BlockSSD`
 and :class:`~repro.ftl.noftl.NoFTL` quantifies the paper's "lower
 performance compared to IPA under NoFTL" remark.
+
+:class:`BlockSSD` conforms to the :class:`~repro.ftl.device.FlashDevice`
+protocol, so the whole engine stack — buffer pool, IPA manager,
+workloads, CLI — runs unmodified on top of the black-box device; the
+host-visible region view it publishes reflects the internal FTL's IPA
+mode so the storage layer reserves delta areas exactly as it would on
+native flash.  :class:`BlockSSDStats` follows the registry-façade
+pattern of :class:`~repro.ftl.stats.DeviceStats`: its counters live in
+a metrics registry, so ``rmw_fraction`` inputs and the delta-command
+counters export via ``repro metrics`` next to the NoFTL counters.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from ..errors import DeltaWriteError, FTLError
+from ..flash.constants import CellType
 from ..flash.memory import FlashMemory
-from .noftl import HostIO, NoFTL, single_region_device
-from .region import IPAMode
+from ..telemetry.metrics import MetricsRegistry
+from .device import HostIO, HostRegionView
+from .noftl import NoFTL, single_region_device
+from .region import IPAMode, RegionConfig
 
 
-@dataclass
+#: field name -> help string; the façade exposes exactly these.
+_SSD_FIELDS = {
+    "reads": "Block-device read commands served",
+    "writes": "Block-device write commands served",
+    "delta_commands": "write_delta commands received by the device",
+    "deltas_in_place": "Delta commands served as true In-Place Appends",
+    "deltas_rmw": "Delta commands absorbed as internal read-modify-writes",
+}
+
+
+def _ssd_counter(name: str) -> property:
+    """A property delegating ``stats.<name>`` to a registry counter."""
+
+    def fget(self):
+        return self._metrics[name].value
+
+    def fset(self, value):
+        self._metrics[name].value = value
+
+    return property(fget, fset, doc=_SSD_FIELDS[name])
+
+
 class BlockSSDStats:
-    """Host-visible counters of the block device."""
+    """Host-visible counters of the block device.
 
-    reads: int = 0
-    writes: int = 0
-    delta_commands: int = 0
-    #: Delta commands served as true In-Place Appends.
-    deltas_in_place: int = 0
-    #: Delta commands the device had to absorb as read-modify-write.
-    deltas_rmw: int = 0
+    A registry façade like :class:`~repro.ftl.stats.DeviceStats`:
+    attribute reads and writes delegate to counters named
+    ``blockssd_*``, ``stats.__init__()`` resets while keeping the
+    registry home, and :meth:`bind` re-homes the counters into a shared
+    telemetry registry without losing values.
+    """
+
+    reads = _ssd_counter("reads")
+    writes = _ssd_counter("writes")
+    delta_commands = _ssd_counter("delta_commands")
+    deltas_in_place = _ssd_counter("deltas_in_place")
+    deltas_rmw = _ssd_counter("deltas_rmw")
+
+    def __init__(
+        self,
+        reads: int = 0,
+        writes: int = 0,
+        delta_commands: int = 0,
+        deltas_in_place: int = 0,
+        deltas_rmw: int = 0,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if registry is None:
+            registry = getattr(self, "_registry", None) or MetricsRegistry()
+        self._registry = registry
+        self._metrics = {
+            name: registry.counter(f"blockssd_{name}", help=help_text)
+            for name, help_text in _SSD_FIELDS.items()
+        }
+        self.reads = reads
+        self.writes = writes
+        self.delta_commands = delta_commands
+        self.deltas_in_place = deltas_in_place
+        self.deltas_rmw = deltas_rmw
+
+    def bind(self, registry: MetricsRegistry) -> None:
+        """Re-home the counters into ``registry``, keeping their values."""
+        if registry is self._registry:
+            return
+        for metric in self._metrics.values():
+            registry.adopt(metric)
+        self._registry = registry
 
     @property
     def rmw_fraction(self) -> float:
         if self.delta_commands == 0:
             return 0.0
         return self.deltas_rmw / self.delta_commands
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, BlockSSDStats):
+            return NotImplemented
+        return all(getattr(self, name) == getattr(other, name) for name in _SSD_FIELDS)
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{name}={getattr(self, name)!r}" for name in _SSD_FIELDS)
+        return f"BlockSSDStats({fields})"
 
 
 class BlockSSD:
@@ -65,10 +141,10 @@ class BlockSSD:
         capacity_pages: int,
         ipa_mode: IPAMode | None = None,
         overprovisioning: float = 0.10,
+        serialize_io: bool = False,
+        telemetry=None,
     ) -> None:
         if ipa_mode is None:
-            from ..flash.constants import CellType
-
             ipa_mode = (
                 IPAMode.NATIVE
                 if flash.geometry.cell_type is CellType.SLC
@@ -79,13 +155,48 @@ class BlockSSD:
             logical_pages=capacity_pages,
             ipa_mode=ipa_mode,
             overprovisioning=overprovisioning,
+            serialize_io=serialize_io,
         )
         self.stats = BlockSSDStats()
+        #: Host-visible placement view: one region spanning the LBA
+        #: space, advertising the internal IPA mode so the storage
+        #: layer reserves delta areas where appends can happen.
+        self.regions = [
+            HostRegionView(
+                RegionConfig(
+                    name="default",
+                    logical_pages=capacity_pages,
+                    ipa_mode=ipa_mode,
+                    overprovisioning=overprovisioning,
+                ),
+                lpn_start=0,
+            )
+        ]
+        self.telemetry = None
+        if telemetry is not None:
+            telemetry.attach_device(self)
 
     # ------------------------------------------------------------------
-    # Block-device interface
+    # Geometry / identity
     # ------------------------------------------------------------------
 
+    @property
+    def page_size(self) -> int:
+        return self._ftl.page_size
+
+    @property
+    def logical_pages(self) -> int:
+        return self._ftl.logical_pages
+
+    @property
+    def oob_size(self) -> int:
+        return self._ftl.oob_size
+
+    @property
+    def cell_type(self) -> CellType:
+        return self._ftl.cell_type
+
+    #: Block-device vocabulary aliases of the same two numbers.
     @property
     def block_size(self) -> int:
         return self._ftl.page_size
@@ -94,19 +205,52 @@ class BlockSSD:
     def capacity_blocks(self) -> int:
         return self._ftl.logical_pages
 
-    def read_block(self, lba: int, now: float = 0.0) -> HostIO:
+    def region_of(self, lpn: int) -> HostRegionView:
+        """The (single) host-visible region hosting a logical page."""
+        self._check_lba(lpn)
+        return self.regions[0]
+
+    def region_named(self, name: str) -> HostRegionView:
+        """Look the host-visible region up by name."""
+        for region in self.regions:
+            if region.name == name:
+                return region
+        raise FTLError(f"no region named {name!r}")
+
+    # ------------------------------------------------------------------
+    # Block-device interface
+    # ------------------------------------------------------------------
+
+    def is_mapped(self, lpn: int) -> bool:
+        """Whether the LBA has ever been written (SMART-style probe)."""
+        return self._ftl.is_mapped(lpn)
+
+    def read(self, lpn: int, now: float = 0.0) -> HostIO:
         """Read one logical block (the raw stored image)."""
-        self._check_lba(lba)
+        self._check_lba(lpn)
         self.stats.reads += 1
-        return self._ftl.read(lba, now)
+        return self._ftl.read(lpn, now)
 
-    def write_block(self, lba: int, data: bytes, now: float = 0.0) -> HostIO:
+    def write(self, lpn: int, data: bytes, now: float = 0.0) -> HostIO:
         """Write one logical block (always out-of-place internally)."""
-        self._check_lba(lba)
+        self._check_lba(lpn)
         self.stats.writes += 1
-        return self._ftl.write(lba, data, now)
+        return self._ftl.write(lpn, data, now)
 
-    def write_delta(self, lba: int, offset: int, data: bytes, now: float = 0.0) -> HostIO:
+    # The original block-device spellings remain as aliases.
+    read_block = read
+    write_block = write
+
+    def can_write_delta(self, lpn: int, offset: int, length: int) -> bool:
+        """Whether a delta would execute in place (device introspection).
+
+        A real black-box host cannot ask this; it exists so the
+        protocol-conformance surface is uniform and so tests can
+        distinguish the two internal paths.
+        """
+        return self._ftl.can_write_delta(lpn, offset, length)
+
+    def write_delta(self, lpn: int, offset: int, data: bytes, now: float = 0.0) -> HostIO:
         """The Section 7 primitive, with device-internal fallback.
 
         Returns the I/O result; :attr:`stats` records whether the
@@ -115,28 +259,69 @@ class BlockSSD:
         future GC work — exactly the penalty of the black-box
         architecture).
         """
-        self._check_lba(lba)
+        self._check_lba(lpn)
         if not data:
             raise FTLError("empty delta")
+        if not self._ftl.is_mapped(lpn):
+            raise DeltaWriteError(f"LBA {lpn} not yet written")
         self.stats.delta_commands += 1
         try:
-            io = self._ftl.write_delta(lba, offset, data, now)
+            io = self._ftl.write_delta(lpn, offset, data, now)
             self.stats.deltas_in_place += 1
             return io
         except DeltaWriteError:
             pass
         # Internal read-modify-write fallback.
         self.stats.deltas_rmw += 1
-        current = self._ftl.read(lba, now)
+        current = self._ftl.read(lpn, now)
         image = bytearray(current.data)
         image[offset : offset + len(data)] = data
-        write_io = self._ftl.write(lba, bytes(image), now + current.latency_us)
+        write_io = self._ftl.write(lpn, bytes(image), now + current.latency_us)
         return HostIO(None, current.latency_us + write_io.latency_us)
 
-    def trim(self, lba: int) -> None:
+    def read_oob(self, lpn: int) -> bytes:
+        """Spare-area bytes of a block's current flash home."""
+        self._check_lba(lpn)
+        return self._ftl.read_oob(lpn)
+
+    def write_oob(self, lpn: int, data: bytes, offset: int = 0) -> None:
+        """Append ECC bytes into a block's spare area."""
+        self._check_lba(lpn)
+        self._ftl.write_oob(lpn, data, offset)
+
+    def trim(self, lpn: int) -> None:
         """Deallocate one block (its flash pages become garbage)."""
-        self._check_lba(lba)
-        self._ftl.trim(lba)
+        self._check_lba(lpn)
+        self._ftl.trim(lpn)
+
+    # ------------------------------------------------------------------
+    # Stats / telemetry
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Flash-side counter summary (same keys as a NoFTL snapshot).
+
+        ``delta_writes`` counts only the commands that truly appended in
+        place; internally absorbed read-modify-writes surface as extra
+        host reads and page writes — the black-box penalty, in the same
+        currency as every other backend.
+        """
+        return self._ftl.snapshot()
+
+    def reset_stats(self) -> None:
+        """Zero both the block-interface and the internal FTL counters."""
+        self.stats.__init__()
+        self._ftl.reset_stats()
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Instrument the internal FTL and export the device counters."""
+        self.telemetry = telemetry
+        self.stats.bind(telemetry.metrics)
+        self._ftl.bind_telemetry(telemetry)
+
+    def collect_gauges(self, metrics, prefix: str = "") -> None:
+        """Refresh chip-busy and wear gauges from the internal FTL."""
+        self._ftl.collect_gauges(metrics, prefix=prefix)
 
     # ------------------------------------------------------------------
     # Introspection (SMART-style, not part of the block interface)

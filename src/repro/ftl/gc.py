@@ -10,7 +10,7 @@ bench.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from typing import Callable
 
 from .mapping import BlockKey, PageMapping
 

@@ -20,28 +20,22 @@ SSDs (Section 8.4, "I/O and Transactional Response Times").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from ..errors import (
     DeltaWriteError,
     FTLError,
     OutOfSpaceError,
     RegionError,
 )
+from ..flash.constants import CellType
 from ..flash.geometry import PhysicalAddress
 from ..flash.memory import FlashMemory
+from .device import HostIO
 from .gc import VictimPolicy, greedy
 from .mapping import BlockKey, PageMapping
 from .region import IPAMode, Region, RegionConfig, blocks_needed
 from .stats import DeviceStats
 
-
-@dataclass
-class HostIO:
-    """Result of one host command: payload (reads) and observed latency."""
-
-    data: bytes | None
-    latency_us: float
+__all__ = ["HostIO", "NoFTL", "single_region_device"]
 
 
 class NoFTL:
@@ -134,6 +128,14 @@ class NoFTL:
     @property
     def logical_pages(self) -> int:
         return sum(region.config.logical_pages for region in self.regions)
+
+    @property
+    def oob_size(self) -> int:
+        return self.flash.geometry.oob_size
+
+    @property
+    def cell_type(self) -> CellType:
+        return self.flash.geometry.cell_type
 
     def region_of(self, lpn: int) -> Region:
         """The region hosting a logical page."""
@@ -254,6 +256,40 @@ class NoFTL:
     def trim(self, lpn: int) -> None:
         """Drop a logical page (deallocation); its cells become garbage."""
         self.mapping.unbind(lpn)
+
+    # ------------------------------------------------------------------
+    # Stats / telemetry (the FlashDevice reporting surface)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Device counter summary (raw and derived values)."""
+        return self.stats.snapshot()
+
+    def reset_stats(self) -> None:
+        """Zero the device counters (run boundaries)."""
+        self.stats.__init__()
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Instrument this controller and its flash array."""
+        self.telemetry = telemetry
+        self.stats.bind(telemetry.metrics)
+        self.flash.telemetry = telemetry
+        self.flash.latency.observer = telemetry.on_raw_latency
+
+    def collect_gauges(self, metrics, prefix: str = "") -> None:
+        """Refresh chip-busy and wear gauges in ``metrics``."""
+        for index, chip in enumerate(self.flash.chips):
+            metrics.gauge(
+                f"{prefix}chip_{index}_busy_time_us",
+                help="Accumulated command time on this chip's pipeline",
+            ).set(chip.busy_time_us)
+        wear = self.flash.wear_summary()
+        metrics.gauge(
+            f"{prefix}wear_max_erase_count", help="Most-worn block's erase count"
+        ).set(wear["max"])
+        metrics.gauge(
+            f"{prefix}wear_min_erase_count", help="Least-worn block's erase count"
+        ).set(wear["min"])
 
     # ------------------------------------------------------------------
     # Garbage collection

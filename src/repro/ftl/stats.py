@@ -99,14 +99,20 @@ class DeviceStats:
         write_latency_us_total: float = 0.0,
         gc_time_us_total: float = 0.0,
         registry: MetricsRegistry | None = None,
+        prefix: str | None = None,
     ) -> None:
         if registry is None:
             # Re-running __init__() on a live instance resets the
             # counters but keeps their registry home.
             registry = getattr(self, "_registry", None) or MetricsRegistry()
+        if prefix is None:
+            # Same idiom for the label: re-init keeps the prefix (set by
+            # composite devices so per-shard counters do not collide).
+            prefix = getattr(self, "_prefix", "")
         self._registry = registry
+        self._prefix = prefix
         self._metrics = {
-            name: registry.counter(f"device_{name}", help=help_text)
+            name: registry.counter(f"{prefix}device_{name}", help=help_text)
             for name, help_text in _DEVICE_FIELDS.items()
         }
         self.host_reads = host_reads

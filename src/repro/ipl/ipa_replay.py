@@ -21,7 +21,8 @@ from ..core.scheme import NxMScheme
 from ..errors import DeltaWriteError
 from ..flash.geometry import FlashGeometry
 from ..flash.memory import FlashMemory
-from ..ftl.noftl import NoFTL, single_region_device
+from ..ftl.device import FlashDevice
+from ..ftl.noftl import single_region_device
 from ..ftl.region import IPAMode
 from ..workloads.trace import TraceEvent
 from .config import IPLConfig
@@ -55,7 +56,7 @@ class IPAReplay:
             page_size=page_size,
             oob_size=64,
         )
-        self.device: NoFTL = single_region_device(
+        self.device: FlashDevice = single_region_device(
             FlashMemory(geometry),
             logical_pages=logical_pages,
             ipa_mode=IPAMode.NATIVE,
@@ -110,12 +111,12 @@ class IPAReplay:
     def write_amplification(self) -> float:
         if self.evictions == 0:
             return 0.0
-        stats = self.device.stats
+        snap = self.device.snapshot()
         io = self.io_per_page
         writes = (
-            stats.delta_writes * 1
-            + stats.host_page_writes * io
-            + stats.gc_page_migrations * io
+            snap["delta_writes"] * 1
+            + snap["host_page_writes"] * io
+            + snap["gc_page_migrations"] * io
         )
         return writes / (self.evictions * io)
 
@@ -123,13 +124,13 @@ class IPAReplay:
     def read_amplification(self) -> float:
         if self.fetches == 0:
             return 0.0
-        stats = self.device.stats
+        snap = self.device.snapshot()
         io = self.io_per_page
-        return (self.fetches * io + stats.gc_page_migrations * io) / (self.fetches * io)
+        return (self.fetches * io + snap["gc_page_migrations"] * io) / (self.fetches * io)
 
     @property
     def erases(self) -> int:
-        return self.device.stats.gc_erases
+        return self.device.snapshot()["gc_erases"]
 
     @property
     def space_reserved_fraction(self) -> float:
@@ -142,7 +143,7 @@ class IPAReplay:
             "write_amplification": self.write_amplification,
             "read_amplification": self.read_amplification,
             "erases": self.erases,
-            "ipa_fraction": self.device.stats.ipa_fraction,
+            "ipa_fraction": self.device.snapshot()["ipa_fraction"],
             "space_reserved": self.space_reserved_fraction,
         }
 

@@ -26,7 +26,7 @@ The resulting amplification formulas (Appendix B)::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .config import IPLConfig
 

@@ -1,4 +1,9 @@
-"""The storage engine: Shore-MT-shaped, NoFTL-backed, IPA-aware.
+"""The storage engine: Shore-MT-shaped, device-agnostic, IPA-aware.
+
+The engine programs against the :class:`~repro.ftl.device.FlashDevice`
+protocol, so it runs unchanged on native NoFTL, on a black-box
+:class:`~repro.ftl.blockdev.BlockSSD`, or on a
+:class:`~repro.ftl.sharded.ShardedDevice` scale-out backend.
 
 :class:`StorageEngine` wires together the buffer pool, the write-ahead
 log, the transaction manager, heap tables, and the
@@ -15,14 +20,13 @@ mechanism behind the paper's latency results.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from ..core.manager import IPAManager
 from ..core.scheme import NxMScheme, SCHEME_OFF
 from ..errors import StorageError, TransactionError
-from ..ftl.noftl import NoFTL
-from ..ftl.region import Region
+from ..ftl.device import FlashDevice
 from .buffer import BufferPool, Frame
 from .heap import RID, Table
 from .page_layout import SlottedPage
@@ -66,10 +70,10 @@ class EngineConfig:
 
 
 class StorageEngine:
-    """ACID storage engine over a NoFTL flash device."""
+    """ACID storage engine over any :class:`FlashDevice` backend."""
 
     def __init__(
-        self, device: NoFTL, config: EngineConfig | None = None, telemetry=None
+        self, device: FlashDevice, config: EngineConfig | None = None, telemetry=None
     ) -> None:
         self.device = device
         self.config = config if config is not None else EngineConfig()
@@ -210,7 +214,7 @@ class StorageEngine:
         """
         from ..ftl.region import IPAMode
 
-        region: Region = table.region
+        region = table.region
         cursor = self._region_cursors[region.name]
         if cursor >= region.lpn_end:
             raise StorageError(
@@ -398,6 +402,6 @@ class StorageEngine:
             "aborted": self.txns.aborted,
             "checkpoints": self.checkpoints,
             "buffer": self.pool.stats.__dict__ | {"hit_ratio": self.pool.stats.hit_ratio},
-            "device": self.device.stats.snapshot(),
+            "device": self.device.snapshot(),
             "ipa": self.ipa.stats.snapshot(),
         }

@@ -145,12 +145,14 @@ class Telemetry:
     # ------------------------------------------------------------------
 
     def attach_device(self, device) -> None:
-        """Instrument a NoFTL device (flash array included)."""
-        device.telemetry = self
-        device.stats.bind(self.metrics)
-        flash = device.flash
-        flash.telemetry = self
-        flash.latency.observer = self.on_raw_latency
+        """Instrument a :class:`~repro.ftl.device.FlashDevice` backend.
+
+        The device does its own wiring (``bind_telemetry``): NoFTL binds
+        its stats and flash array, BlockSSD additionally exports its
+        delta-command counters, and a sharded device fans out to every
+        shard under per-shard labels.
+        """
+        device.bind_telemetry(self)
         self._device = device
 
     def attach_engine(self, engine) -> None:
@@ -170,19 +172,7 @@ class Telemetry:
         current without any hot-path cost.
         """
         if self._device is not None:
-            flash = self._device.flash
-            for index, chip in enumerate(flash.chips):
-                self.metrics.gauge(
-                    f"chip_{index}_busy_time_us",
-                    help="Accumulated command time on this chip's pipeline",
-                ).set(chip.busy_time_us)
-            wear = flash.wear_summary()
-            self.metrics.gauge(
-                "wear_max_erase_count", help="Most-worn block's erase count"
-            ).set(wear["max"])
-            self.metrics.gauge(
-                "wear_min_erase_count", help="Least-worn block's erase count"
-            ).set(wear["min"])
+            self._device.collect_gauges(self.metrics)
         if self._pool is not None:
             self.metrics.gauge(
                 "buffer_dirty_fraction", help="Dirty fraction of the buffer pool"

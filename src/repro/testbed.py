@@ -1,4 +1,4 @@
-"""Testbed factories: the paper's two evaluation platforms, in one place.
+"""Testbed factories: evaluation platforms and storage backends.
 
 * :func:`emulator_device` — the real-time flash emulator of Section 8.1:
   16 SLC chips, 10% over-provisioning, page-level mapping, full chip
@@ -6,9 +6,18 @@
 * :func:`openssd_device` — the OpenSSD Jasmine board: MLC flash, one
   host command at a time (no NCQ, Appendix D), regions in ``pSLC`` or
   ``odd-MLC`` mode.
+* :func:`blockssd_device` — a conventional black-box SSD with the
+  retrofitted ``write_delta`` command (paper Section 7).
+* :func:`sharded_device` — K independent NoFTL controllers behind one
+  striped logical space (the scale-out backend).
+* :func:`make_device` — backend selection by name, the CLI's entry.
 * :func:`build_engine` / :func:`load_scaled` — engine construction and
   the buffer-fraction protocol every benchmark table uses ("buffer size
   X% of the initial DB-size").
+
+Every factory returns a :class:`~repro.ftl.device.FlashDevice`; the
+engine and drivers never see a concrete controller class, which is what
+turns each benchmark into a backend-comparison harness.
 """
 
 from __future__ import annotations
@@ -16,13 +25,20 @@ from __future__ import annotations
 import math
 
 from .core.scheme import NxMScheme, SCHEME_OFF
+from .errors import ReproError
 from .flash.constants import CellType
 from .flash.geometry import FlashGeometry
 from .flash.memory import FlashMemory
-from .ftl.noftl import NoFTL, single_region_device
+from .ftl.blockdev import BlockSSD
+from .ftl.device import FlashDevice
+from .ftl.noftl import single_region_device
 from .ftl.region import IPAMode
+from .ftl.sharded import ShardedDevice
 from .storage.engine import EngineConfig, StorageEngine
 from .workloads.base import Driver, Workload
+
+#: Storage backends selectable by name (CLI ``--backend``).
+BACKENDS = ("noftl", "blockssd", "sharded")
 
 
 def _geometry_for(
@@ -57,7 +73,7 @@ def emulator_device(
     pages_per_block: int = 64,
     overprovisioning: float = 0.10,
     telemetry=None,
-) -> NoFTL:
+) -> FlashDevice:
     """The Section 8.1 flash emulator: 16 SLC chips, 10% OP."""
     geometry = _geometry_for(
         logical_pages, chips, page_size, pages_per_block,
@@ -81,7 +97,7 @@ def openssd_device(
     pages_per_block: int = 64,
     overprovisioning: float = 0.10,
     telemetry=None,
-) -> NoFTL:
+) -> FlashDevice:
     """The OpenSSD Jasmine board: MLC flash, serialized host I/O."""
     geometry = _geometry_for(
         logical_pages, chips, page_size, pages_per_block,
@@ -97,8 +113,105 @@ def openssd_device(
     )
 
 
+def blockssd_device(
+    logical_pages: int,
+    cell_type: CellType = CellType.SLC,
+    mode: IPAMode | None = None,
+    chips: int = 16,
+    page_size: int = 4096,
+    pages_per_block: int = 64,
+    overprovisioning: float = 0.10,
+    serialize_io: bool = False,
+    telemetry=None,
+) -> FlashDevice:
+    """A conventional black-box SSD with retrofitted delta-writes (§7).
+
+    Defaults mirror the emulator platform (SLC, 16 chips); pass
+    ``cell_type=CellType.MLC`` with ``mode=IPAMode.ODD_MLC`` for the
+    configuration where the device must absorb impossible appends as
+    internal read-modify-writes.
+    """
+    geometry = _geometry_for(
+        logical_pages, chips, page_size, pages_per_block,
+        cell_type, overprovisioning, pslc=(mode is IPAMode.PSLC),
+    )
+    return BlockSSD(
+        FlashMemory(geometry),
+        capacity_pages=logical_pages,
+        ipa_mode=mode,
+        overprovisioning=overprovisioning,
+        serialize_io=serialize_io,
+        telemetry=telemetry,
+    )
+
+
+def sharded_device(
+    logical_pages: int,
+    shards: int = 4,
+    ipa_capable: bool = True,
+    chips_per_shard: int = 4,
+    page_size: int = 4096,
+    pages_per_block: int = 64,
+    overprovisioning: float = 0.10,
+    telemetry=None,
+) -> FlashDevice:
+    """K independent NoFTL controllers behind one striped logical space.
+
+    Each shard owns its own SLC flash array (``chips_per_shard`` chips),
+    regions and GC; logical pages stripe round-robin across shards.  The
+    requested page count is rounded up to a multiple of ``shards``.
+    """
+    if shards < 1:
+        raise ReproError(f"shards must be >= 1, got {shards}")
+    per_shard = math.ceil(logical_pages / shards)
+    children = [
+        emulator_device(
+            per_shard,
+            ipa_capable=ipa_capable,
+            chips=chips_per_shard,
+            page_size=page_size,
+            pages_per_block=pages_per_block,
+            overprovisioning=overprovisioning,
+        )
+        for _ in range(shards)
+    ]
+    return ShardedDevice(children, telemetry=telemetry)
+
+
+def make_device(
+    backend: str,
+    logical_pages: int,
+    platform: str = "emulator",
+    mode: IPAMode = IPAMode.ODD_MLC,
+    shards: int = 4,
+    telemetry=None,
+) -> FlashDevice:
+    """Build a storage backend by name (the CLI's ``--backend`` entry).
+
+    ``noftl`` honours the platform choice (emulator or openssd);
+    ``blockssd`` mirrors the platform's flash technology behind a
+    black-box interface; ``sharded`` stripes over emulator-style shards.
+    """
+    if backend == "noftl":
+        if platform == "openssd":
+            return openssd_device(logical_pages, mode=mode, telemetry=telemetry)
+        return emulator_device(logical_pages, telemetry=telemetry)
+    if backend == "blockssd":
+        if platform == "openssd":
+            return blockssd_device(
+                logical_pages, cell_type=CellType.MLC, mode=mode,
+                chips=8, serialize_io=True, telemetry=telemetry,
+            )
+        return blockssd_device(logical_pages, telemetry=telemetry)
+    if backend == "sharded":
+        if platform == "openssd":
+            raise ReproError("the sharded backend runs on the emulator platform only")
+        return sharded_device(logical_pages, shards=shards, telemetry=telemetry)
+    raise ReproError(f"unknown backend {backend!r}; choose from {', '.join(BACKENDS)}")
+
+
 def build_engine(
-    device: NoFTL,
+    device: FlashDevice,
     scheme: NxMScheme = SCHEME_OFF,
     buffer_pages: int | None = None,
     eviction: str = "eager",

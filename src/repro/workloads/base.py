@@ -76,7 +76,7 @@ class Driver:
     def _reset_measurements(self) -> None:
         """Zero out the counters so measurement excludes the load phase."""
         engine = self.engine
-        engine.device.stats.__init__()
+        engine.device.reset_stats()
         engine.ipa.stats.__init__()
         engine.pool.stats.__init__()
         engine.foreground_read_time_us = 0.0

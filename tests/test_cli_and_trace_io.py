@@ -90,6 +90,40 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "longevity" in out and "space" in out
 
+    def test_run_blockssd_backend(self, capsys):
+        code = main(["run", "--workload", "tatp", "--txns", "200",
+                     "--backend", "blockssd"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(blockssd)" in out
+        assert "throughput" in out
+
+    def test_run_sharded_backend(self, capsys):
+        code = main(["run", "--workload", "tpcb", "--txns", "200",
+                     "--backend", "sharded", "--shards", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(sharded[4])" in out
+        assert "IPA fraction" in out
+
+    def test_compare_prints_backend_column(self, capsys):
+        code = main(["compare", "--workload", "tatp", "--txns", "200",
+                     "--backend", "sharded", "--shards", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backend" in out
+        assert "sharded[2]" in out
+
+    def test_sharded_rejected_on_openssd(self, capsys):
+        code = main(["run", "--workload", "tatp", "--txns", "10",
+                     "--backend", "sharded", "--platform", "openssd"])
+        assert code == 1
+        assert "emulator" in capsys.readouterr().err
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--backend", "floppy"])
+
     def test_trace_record_and_replay(self, tmp_path, capsys):
         trace = tmp_path / "x.trace"
         assert main(["trace-record", "--workload", "tpcb", "--txns", "600",

@@ -9,7 +9,6 @@ out-of-place writes materialized the pages, committed data always reads
 back, and losers always disappear.
 """
 
-import pytest
 from hypothesis import settings
 from hypothesis.stateful import (
     Bundle,
@@ -21,7 +20,6 @@ from hypothesis.stateful import (
 from hypothesis import strategies as st
 
 from repro.core import NxMScheme
-from repro.errors import RecordNotFoundError
 from repro.storage import (
     Char,
     Column,

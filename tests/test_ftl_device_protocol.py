@@ -1,0 +1,197 @@
+"""FlashDevice protocol conformance, run against every backend.
+
+One parametrized suite checks the host-facing contract —
+read-after-write, delta-append visibility, overflow behaviour, trim,
+OOB, snapshot keys, stats reset — for all three conforming backends:
+NoFTL, BlockSSD and the sharded multi-controller device.  A new
+backend joins the matrix by adding a factory to ``BACKEND_FACTORIES``.
+"""
+
+import pytest
+
+from repro.errors import DeltaWriteError, FTLError
+from repro.flash import CellType, FlashGeometry, FlashMemory
+from repro.ftl import (
+    BlockSSD,
+    FlashDevice,
+    HostIO,
+    IPAMode,
+    ShardedDevice,
+    single_region_device,
+)
+
+LOGICAL_PAGES = 48
+PAGE_SIZE = 256
+OOB_SIZE = 32
+TAIL = 64  # erased delta area at the end of every written page
+
+
+def _geometry(chips=2, blocks_per_chip=16):
+    return FlashGeometry(
+        chips=chips, blocks_per_chip=blocks_per_chip, pages_per_block=8,
+        page_size=PAGE_SIZE, oob_size=OOB_SIZE, cell_type=CellType.SLC,
+    )
+
+
+def make_noftl():
+    return single_region_device(
+        FlashMemory(_geometry()),
+        logical_pages=LOGICAL_PAGES,
+        ipa_mode=IPAMode.NATIVE,
+    )
+
+
+def make_blockssd():
+    return BlockSSD(FlashMemory(_geometry()), capacity_pages=LOGICAL_PAGES)
+
+
+def make_sharded():
+    children = [
+        single_region_device(
+            FlashMemory(_geometry(chips=1, blocks_per_chip=8)),
+            logical_pages=LOGICAL_PAGES // 4,
+            ipa_mode=IPAMode.NATIVE,
+        )
+        for _ in range(4)
+    ]
+    return ShardedDevice(children)
+
+
+BACKEND_FACTORIES = {
+    "noftl": make_noftl,
+    "blockssd": make_blockssd,
+    "sharded": make_sharded,
+}
+
+
+@pytest.fixture(params=sorted(BACKEND_FACTORIES))
+def device(request):
+    return BACKEND_FACTORIES[request.param]()
+
+
+def image(fill=0x21):
+    """A page image with a still-erased delta tail."""
+    return bytes([fill]) * (PAGE_SIZE - TAIL) + b"\xff" * TAIL
+
+
+class TestProtocolSurface:
+    def test_satisfies_runtime_protocol(self, device):
+        assert isinstance(device, FlashDevice)
+
+    def test_geometry_identity(self, device):
+        assert device.page_size == PAGE_SIZE
+        assert device.logical_pages == LOGICAL_PAGES
+        assert device.oob_size == OOB_SIZE
+        assert device.cell_type is CellType.SLC
+
+    def test_regions_cover_logical_space(self, device):
+        regions = sorted(device.regions, key=lambda r: r.lpn_start)
+        assert regions[0].lpn_start == 0
+        assert regions[-1].lpn_end == device.logical_pages
+        for left, right in zip(regions, regions[1:]):
+            assert left.lpn_end == right.lpn_start
+        for lpn in (0, device.logical_pages - 1):
+            assert device.region_of(lpn).contains(lpn)
+        first = regions[0]
+        assert device.region_named(first.name).name == first.name
+        with pytest.raises(FTLError):
+            device.region_named("no-such-region")
+
+
+class TestHostCommands:
+    def test_read_after_write(self, device):
+        data = image()
+        io = device.write(7, data)
+        assert isinstance(io, HostIO)
+        assert io.latency_us > 0
+        back = device.read(7)
+        assert back.data == data
+        assert back.latency_us > 0
+
+    def test_write_requires_full_page(self, device):
+        with pytest.raises(FTLError):
+            device.write(0, b"\x01")
+
+    def test_delta_append_visible_in_read(self, device):
+        device.write(3, image())
+        offset = PAGE_SIZE - TAIL
+        assert device.can_write_delta(3, offset, 2)
+        device.write_delta(3, offset, b"\x0a\x0b")
+        stored = device.read(3).data
+        assert stored[offset:offset + 2] == b"\x0a\x0b"
+        assert stored[:offset] == image()[:offset]
+        assert device.snapshot()["delta_writes"] == 1
+
+    def test_overflow_fallback(self, device):
+        """An append onto programmed cells either fails loudly (native
+        backends) or is absorbed by the device (BlockSSD's internal
+        read-modify-write); in both cases no in-place append happened
+        and a subsequent read never returns torn data."""
+        device.write(5, b"\x00" * PAGE_SIZE)
+        assert not device.can_write_delta(5, 10, 2)
+        try:
+            device.write_delta(5, 10, b"\x55\x66")
+        except DeltaWriteError:
+            assert device.read(5).data == b"\x00" * PAGE_SIZE
+        else:
+            stored = device.read(5).data
+            assert stored[10:12] == b"\x55\x66"
+            assert stored[:10] == b"\x00" * 10
+        assert device.snapshot()["delta_writes"] == 0
+
+    def test_delta_on_unwritten_page_fails(self, device):
+        assert not device.can_write_delta(0, 0, 1)
+        with pytest.raises(DeltaWriteError):
+            device.write_delta(0, 0, b"\x01")
+
+    def test_trim_unmaps(self, device):
+        device.write(9, image())
+        assert device.is_mapped(9)
+        device.trim(9)
+        assert not device.is_mapped(9)
+
+    def test_oob_roundtrip(self, device):
+        device.write(2, image())
+        device.write_oob(2, b"\xaa\xbb")
+        assert device.read_oob(2)[:2] == b"\xaa\xbb"
+
+    def test_out_of_range_write_raises(self, device):
+        with pytest.raises(FTLError):
+            device.write(device.logical_pages, image())
+
+
+class TestReporting:
+    def test_snapshot_counts_traffic(self, device):
+        device.write(0, image())
+        device.write_delta(0, PAGE_SIZE - TAIL, b"\x01")
+        device.read(0)
+        snap = device.snapshot()
+        assert snap["host_reads"] == 1
+        assert snap["host_page_writes"] == 1
+        assert snap["delta_writes"] == 1
+        assert snap["host_writes"] == 2
+        assert snap["ipa_fraction"] == 0.5
+        assert snap["mean_read_latency_us"] > 0
+        assert snap["mean_write_latency_us"] > 0
+
+    def test_reset_stats_zeroes_counters(self, device):
+        device.write(0, image())
+        device.read(0)
+        device.reset_stats()
+        snap = device.snapshot()
+        assert snap["host_reads"] == 0
+        assert snap["host_writes"] == 0
+        assert snap["delta_writes"] == 0
+        # Data written before the reset stays readable.
+        assert device.read(0).data == image()
+
+
+def test_snapshot_keys_identical_across_backends():
+    """Every backend reports the same summary vocabulary — the property
+    that makes CLI tables and merged shard snapshots backend-agnostic."""
+    key_sets = {}
+    for name, factory in BACKEND_FACTORIES.items():
+        dev = factory()
+        dev.write(0, image())
+        key_sets[name] = set(dev.snapshot())
+    assert key_sets["noftl"] == key_sets["blockssd"] == key_sets["sharded"]

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import OutOfSpaceError, RegionError
-from repro.flash import CellType, FlashGeometry, FlashMemory
+from repro.flash import CellType, FlashGeometry
 from repro.flash.geometry import PhysicalAddress
 from repro.ftl import PageMapping
 from repro.ftl.region import IPAMode, Region, RegionConfig

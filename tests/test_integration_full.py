@@ -5,9 +5,7 @@ together the way the benchmark harness does, and verify *semantic*
 invariants (conservation laws, index consistency) rather than counters.
 """
 
-import pytest
-
-from repro.analysis import UpdateSizeCollector, lifetime_host_writes
+from repro.analysis import lifetime_host_writes
 from repro.core import NxMScheme, SCHEME_OFF
 from repro.flash.constants import ENDURANCE_CYCLES, CellType
 from repro.storage import EngineConfig, StorageEngine, recover

@@ -20,6 +20,9 @@ SURFACE = {
         "NoFTL", "single_region_device", "RegionConfig", "Region",
         "IPAMode", "PageMapping", "DeviceStats", "BlockSSD",
         "greedy", "fifo", "cost_benefit", "wear_aware", "get_policy",
+        "FlashDevice", "HostIO", "HostRegionView", "ShardedDevice",
+        "ShardedStats", "merge_snapshots", "DERIVED_SNAPSHOT_KEYS",
+        "iter_shard_views",
     ],
     "repro.storage": [
         "StorageEngine", "EngineConfig", "Schema", "Column",
@@ -47,7 +50,8 @@ SURFACE = {
     ],
     "repro.testbed": [
         "emulator_device", "openssd_device", "build_engine",
-        "load_scaled", "loaded_db_pages",
+        "load_scaled", "loaded_db_pages", "blockssd_device",
+        "sharded_device", "make_device", "BACKENDS",
     ],
     "repro.cli": ["main", "build_parser", "parse_scheme"],
 }

@@ -5,8 +5,6 @@ database objects (e.g. frequently updated tables or indices) without
 extra DBA overhead. The rest of the DB objects are not impacted."
 """
 
-import pytest
-
 from repro.core import IPAAdvisor, NxMScheme
 from repro.flash import CellType, FlashGeometry, FlashMemory
 from repro.ftl import IPAMode, NoFTL, RegionConfig

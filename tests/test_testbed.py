@@ -3,14 +3,20 @@
 import pytest
 
 from repro.core import NxMScheme
+from repro.errors import ReproError
 from repro.flash.constants import CellType
+from repro.ftl import BlockSSD, ShardedDevice
 from repro.ftl.region import IPAMode
 from repro.testbed import (
+    BACKENDS,
+    blockssd_device,
     build_engine,
     emulator_device,
     load_scaled,
     loaded_db_pages,
+    make_device,
     openssd_device,
+    sharded_device,
 )
 from repro.workloads import TPCB, TPCBConfig
 
@@ -45,6 +51,54 @@ class TestOpenSSDDevice:
         pslc = openssd_device(logical_pages=256, mode=IPAMode.PSLC)
         assert (pslc.flash.geometry.total_blocks
                 > odd.flash.geometry.total_blocks)
+
+
+class TestBackendFactories:
+    def test_blockssd_mirrors_emulator_flash(self):
+        device = blockssd_device(logical_pages=256)
+        assert isinstance(device, BlockSSD)
+        assert device.logical_pages == 256
+        assert device.cell_type is CellType.SLC
+
+    def test_sharded_rounds_capacity_up_to_shard_multiple(self):
+        device = sharded_device(logical_pages=250, shards=4)
+        assert isinstance(device, ShardedDevice)
+        assert device.shard_count == 4
+        assert device.logical_pages == 252  # ceil(250/4) * 4
+        assert device.logical_pages % 4 == 0
+
+    def test_sharded_rejects_nonpositive_shards(self):
+        with pytest.raises(ReproError):
+            sharded_device(logical_pages=64, shards=0)
+
+    def test_make_device_dispatches_every_backend(self):
+        for backend in BACKENDS:
+            device = make_device(backend, 256)
+            assert device.logical_pages >= 256
+
+    def test_make_device_openssd_variants(self):
+        noftl = make_device("noftl", 256, platform="openssd")
+        assert noftl.cell_type is CellType.MLC
+        ssd = make_device("blockssd", 256, platform="openssd")
+        assert ssd.cell_type is CellType.MLC
+
+    def test_make_device_rejects_sharded_on_openssd(self):
+        with pytest.raises(ReproError):
+            make_device("sharded", 256, platform="openssd")
+
+    def test_make_device_rejects_unknown_backend(self):
+        with pytest.raises(ReproError):
+            make_device("floppy", 256)
+
+    def test_engine_runs_on_every_backend(self):
+        for backend in BACKENDS:
+            device = make_device(backend, 400, shards=2)
+            engine = build_engine(device, buffer_pages=400)
+            workload = TPCB(TPCBConfig(accounts_per_branch=200))
+            driver = load_scaled(engine, workload, buffer_fraction=0.5)
+            result = driver.run(50)
+            assert result.transactions == 50
+            assert result.device["host_writes"] >= 0
 
 
 class TestBuildEngine:
