@@ -19,7 +19,11 @@ baseline.  The telemetry commands observe a run through the
 :mod:`repro.telemetry` subsystem: ``trace`` streams every cross-layer
 event to a JSONL file (and verifies the stream aggregates back to the
 run's counters), ``metrics`` dumps the metrics registry in Prometheus
-text format or CSV.
+text format or CSV.  ``lint`` runs ``iplint``, the domain-invariant
+static analyzer (:mod:`repro.lintkit`), over the source tree::
+
+    python -m repro lint                      # lint the installed package
+    python -m repro lint --format json src/repro
 """
 
 from __future__ import annotations
@@ -264,6 +268,31 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """``repro lint``: run the iplint invariant rules over source paths.
+
+    With no paths, lints the installed ``repro`` package itself.  Exits
+    0 when clean, 1 with findings, 2 when a file cannot be parsed.
+    """
+    from pathlib import Path
+
+    from .lintkit import render_json, render_text, run_lint
+
+    paths = args.paths or [str(Path(__file__).resolve().parent)]
+    try:
+        findings = run_lint(paths)
+    except SyntaxError as exc:
+        print(f"iplint: cannot parse {exc.filename}:{exc.lineno}: {exc.msg}",
+              file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"iplint: {exc}", file=sys.stderr)
+        return 2
+    render = render_json if args.format == "json" else render_text
+    print(render(findings), end="")
+    return 1 if findings else 0
+
+
 def cmd_metrics(args) -> int:
     """``repro metrics``: run with telemetry, dump the metrics registry."""
     telemetry = Telemetry()
@@ -347,6 +376,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", choices=("prom", "csv"), default="prom")
     p.add_argument("--out", default=None, help="write dump here (default stdout)")
     p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser("lint", help="run the iplint invariant linter")
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to lint (default: the repro package)")
+    p.add_argument("--format", choices=("human", "json"), default="human")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("trace-replay", help="replay a trace: IPA vs IPL")
     p.add_argument("trace")

@@ -64,6 +64,25 @@ class FlashPage:
         """Return a copy of the page's spare cells."""
         return bytes(self.oob)
 
+    def read_slice(self, offset: int, length: int) -> bytes:
+        """Copy of ``length`` data cells starting at ``offset``.
+
+        The read accessor host-side code must use instead of touching
+        :attr:`data` directly (iplint rule *ispp-safety*).
+        """
+        self._check_range(offset, length, self._page_size, "data")
+        return bytes(self.data[offset : offset + length])
+
+    def is_erased_range(self, offset: int, length: int) -> bool:
+        """Whether every data cell in ``[offset, offset+length)`` is erased.
+
+        Out-of-bounds ranges are simply not erased (``False``) — the
+        caller is probing whether an append could land there.
+        """
+        if length <= 0 or offset < 0 or offset + length > self._page_size:
+            return False
+        return ispp.is_erased(self.data[offset : offset + length])
+
     def is_erased(self) -> bool:
         """True when no data cell carries charge."""
         return not self.programmed and ispp.is_erased(self.data)

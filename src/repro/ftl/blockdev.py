@@ -39,6 +39,8 @@ counters export via ``repro metrics`` next to the NoFTL counters.
 
 from __future__ import annotations
 
+import contextlib
+
 from ..errors import DeltaWriteError, FTLError
 from ..flash.constants import CellType
 from ..flash.memory import FlashMemory
@@ -265,12 +267,10 @@ class BlockSSD:
         if not self._ftl.is_mapped(lpn):
             raise DeltaWriteError(f"LBA {lpn} not yet written")
         self.stats.delta_commands += 1
-        try:
+        with contextlib.suppress(DeltaWriteError):
             io = self._ftl.write_delta(lpn, offset, data, now)
             self.stats.deltas_in_place += 1
             return io
-        except DeltaWriteError:
-            pass
         # Internal read-modify-write fallback.
         self.stats.deltas_rmw += 1
         current = self._ftl.read(lpn, now)

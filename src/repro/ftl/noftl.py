@@ -208,10 +208,8 @@ class NoFTL:
             return False
         if length <= 0 or offset < 0 or offset + length > self.page_size:
             return False
-        page = self.flash.page_at(address)
-        slot = bytes(page.data[offset : offset + length])
         # A delta slot must still be erased: the append may carry any bytes.
-        return all(b == 0xFF for b in slot)
+        return self.flash.page_at(address).is_erased_range(offset, length)
 
     def write_delta(self, lpn: int, offset: int, data: bytes, now: float = 0.0) -> HostIO:
         """In-place append of a delta record onto the page's current home.
@@ -231,8 +229,7 @@ class NoFTL:
                 f"region {region.name!r} ({region.ipa_mode.value}) forbids appends at {address}"
             )
         page = self.flash.page_at(address)
-        slot = bytes(page.data[offset : offset + len(data)])
-        if len(slot) != len(data) or any(b != 0xFF for b in slot):
+        if not page.is_erased_range(offset, len(data)):
             raise DeltaWriteError(
                 f"delta at [{offset}, {offset + len(data)}) hits programmed cells"
             )

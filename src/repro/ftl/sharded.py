@@ -37,6 +37,8 @@ labels, and host-I/O events report *global* LPNs.
 
 from __future__ import annotations
 
+import contextlib
+
 from ..errors import FTLError
 from .device import HostIO, HostRegionView, merge_snapshots
 from .region import RegionConfig
@@ -150,10 +152,9 @@ class ShardedDevice:
         for index, shard in enumerate(shards):
             relabel = getattr(shard.stats, "__init__", None)
             if relabel is not None:
-                try:
+                # A backend without prefix support keeps its names.
+                with contextlib.suppress(TypeError):
                     shard.stats.__init__(prefix=f"shard{index}_")
-                except TypeError:
-                    pass  # a backend without prefix support keeps its names
         self.regions = self._merge_regions(first)
         self.stats = ShardedStats(shards)
         self.telemetry = None

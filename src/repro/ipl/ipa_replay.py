@@ -15,14 +15,15 @@ extra log-region read.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Iterable
 
 from ..core.scheme import NxMScheme
 from ..errors import DeltaWriteError
 from ..flash.geometry import FlashGeometry
 from ..flash.memory import FlashMemory
+from ..ftl import single_region_device
 from ..ftl.device import FlashDevice
-from ..ftl.noftl import single_region_device
 from ..ftl.region import IPAMode
 from ..workloads.trace import TraceEvent
 from .config import IPLConfig
@@ -90,12 +91,10 @@ class IPAReplay:
             records = self.scheme.records_needed(net, meta)
             offset = self.scheme.slot_offset(slots, self.config.db_page_size)
             payload = b"\x00" * (records * self.scheme.record_size)
-            try:
+            with contextlib.suppress(DeltaWriteError):
                 self.device.write_delta(lpn, offset, payload)
                 self._slots_used[lpn] = slots + records
                 return
-            except DeltaWriteError:
-                pass
         self.device.write(lpn, self._oop_image)
         self._slots_used[lpn] = 0
 

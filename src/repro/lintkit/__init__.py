@@ -1,0 +1,60 @@
+"""repro.lintkit — ``iplint``, the repo's domain-invariant linter.
+
+A small AST-based static-analysis pass that machine-checks the
+invariants this codebase rests on (DESIGN.md §9):
+
+* **ispp-safety** — flash cell buffers are only touched inside
+  ``repro.flash``; hosts use accessors and program/write_delta;
+* **device-layering** — above the device layer only the
+  :class:`~repro.ftl.device.FlashDevice` protocol is imported, never a
+  concrete controller;
+* **determinism** — no wall clocks, no process-global ``random.*``;
+* **telemetry-guard** — event emission sits behind ``events.active``;
+* **counter-naming** — metric names follow ``{layer}_{noun}``;
+* **exception-discipline** — no bare/blind ``except``.
+
+Run it as ``repro lint [--format json] [paths...]`` (CI does), or
+programmatically::
+
+    from repro.lintkit import run_lint
+
+    findings = run_lint(["src/repro"])
+    assert not findings, findings
+
+Inline suppression: ``# iplint: disable=<rule-id>`` on the offending
+line, ``# iplint: disable-file=<rule-id>`` anywhere for the file.
+"""
+
+from __future__ import annotations
+
+from .engine import (
+    Finding,
+    LintModule,
+    Rule,
+    Suppressions,
+    iter_python_files,
+    lint_module,
+    load_module,
+    module_name_for,
+    run_lint,
+)
+from .report import json_report, render_json, render_text
+from .rules import RULE_CLASSES, default_rules, rule_by_id
+
+__all__ = [
+    "Finding",
+    "LintModule",
+    "Rule",
+    "Suppressions",
+    "RULE_CLASSES",
+    "default_rules",
+    "rule_by_id",
+    "iter_python_files",
+    "lint_module",
+    "load_module",
+    "module_name_for",
+    "run_lint",
+    "json_report",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,64 @@
+"""Finding reporters: human-readable text and a stable JSON schema.
+
+The JSON document is the machine interface (CI annotations, tooling)::
+
+    {
+      "version": 1,
+      "findings": [
+        {"path": "...", "line": 3, "col": 9, "rule": "ispp-safety",
+         "severity": "error", "message": "..."},
+        ...
+      ],
+      "summary": {"total": 2, "by_rule": {"ispp-safety": 2},
+                  "files": 1}
+    }
+
+The human reporter prints one ``path:line:col: severity[rule] message``
+line per finding (editor/CI clickable) plus a one-line summary.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Sequence
+
+from .engine import Finding
+
+__all__ = ["json_report", "render_json", "render_text"]
+
+#: Bumped whenever a field is added/renamed in the JSON shape.
+JSON_SCHEMA_VERSION = 1
+
+
+def json_report(findings: Sequence[Finding]) -> dict:
+    """The JSON document as a plain dict (see module docstring)."""
+    by_rule = Counter(finding.rule for finding in findings)
+    return {
+        "version": JSON_SCHEMA_VERSION,
+        "findings": [finding.to_dict() for finding in findings],
+        "summary": {
+            "total": len(findings),
+            "by_rule": dict(sorted(by_rule.items())),
+            "files": len({finding.path for finding in findings}),
+        },
+    }
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Serialized JSON report (two-space indent, trailing newline)."""
+    return json.dumps(json_report(findings), indent=2) + "\n"
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Human-readable report; empty input renders the all-clear line."""
+    if not findings:
+        return "iplint: no findings\n"
+    lines = [str(finding) for finding in findings]
+    by_rule = Counter(finding.rule for finding in findings)
+    breakdown = ", ".join(
+        f"{rule}: {count}" for rule, count in sorted(by_rule.items())
+    )
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(f"iplint: {len(findings)} {noun} ({breakdown})")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,88 @@
+"""determinism: no wall clocks, no ambient randomness in ``src/repro``.
+
+Every run of the simulator must replay bit-identically from its seed:
+the device clock is simulated (``now`` parameters), and all randomness
+flows through an injected ``random.Random(seed)`` instance (workload
+drivers, the fault injector).  This rule bans the two ways ambient
+nondeterminism sneaks in:
+
+* wall-clock reads — ``time.time()`` / ``time.monotonic()`` /
+  ``time.perf_counter()`` (and ``_ns`` variants), ``datetime.now()``,
+  ``datetime.utcnow()``, ``date.today()``;
+* module-level RNG — any ``random.<fn>()`` call on the ``random``
+  module itself (``random.random()``, ``random.choice()``, ...), which
+  draws from the shared, process-global generator.  Constructing
+  ``random.Random(seed)`` / ``random.SystemRandom()`` is what the
+  injection pattern looks like and stays allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import Finding, LintModule, Rule
+
+#: Banned ``time.<fn>`` calls (wall or process clocks).
+_TIME_FUNCS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns", "process_time", "process_time_ns",
+})
+
+#: Banned ``datetime``/``date`` constructors of "now".
+_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+
+#: ``random.<name>`` attributes that are fine: seeded-generator classes.
+_RANDOM_ALLOWED = frozenset({"Random", "SystemRandom"})
+
+
+def _attribute_chain(node: ast.AST) -> list[str]:
+    """``a.b.c`` -> ``["a", "b", "c"]`` (empty when not a pure chain)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return []
+
+
+class DeterminismRule(Rule):
+    """Ban wall-clock reads and the process-global RNG."""
+
+    id = "determinism"
+    description = (
+        "no time.time/datetime.now/module-level random.* in src/repro; "
+        "inject random.Random(seed) and use the simulated clock"
+    )
+
+    def check(self, module: LintModule) -> Iterable[Finding]:
+        """Flag wall-clock and process-global-RNG call sites."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attribute_chain(node.func)
+            if len(chain) < 2:
+                continue
+            base, func = chain[-2], chain[-1]
+            if base == "time" and func in _TIME_FUNCS:
+                yield self.finding(
+                    module, node,
+                    f"calls wall/process clock `time.{func}()`; use the "
+                    "simulated `now` clock so runs replay deterministically",
+                )
+            elif base in {"datetime", "date"} and func in _DATETIME_FUNCS:
+                yield self.finding(
+                    module, node,
+                    f"calls `{base}.{func}()`; wall-clock timestamps make "
+                    "runs unreproducible — thread times through parameters",
+                )
+            elif base == "random" and func not in _RANDOM_ALLOWED:
+                yield self.finding(
+                    module, node,
+                    f"draws from the process-global RNG via `random.{func}()`; "
+                    "all randomness must flow through an injected "
+                    "random.Random(seed)",
+                )

@@ -1,0 +1,69 @@
+"""exception-discipline: no bare or blind exception handlers.
+
+A simulator that swallows exceptions silently corrupts its accounting:
+a ``ProgramError`` or ``OutOfSpaceError`` absorbed by a blanket handler
+turns a physical-invariant violation into a wrong number in a results
+table.  In ``src/repro``:
+
+* ``except:`` (bare) is always a finding;
+* ``except Exception:`` / ``except BaseException:`` is a finding
+  *unless* the handler re-raises — the pin/unpin cleanup idiom
+  (``except Exception: unpin(); raise``) stays legal because the error
+  still propagates.
+
+Handlers for specific exception types are the expected style and are
+never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import Finding, LintModule, Rule
+
+_BLANKET_TYPES = frozenset({"Exception", "BaseException"})
+
+
+def _names_blanket_type(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler catches Exception/BaseException (incl. tuples)."""
+    node = handler.type
+    candidates = node.elts if isinstance(node, ast.Tuple) else [node]
+    return any(
+        isinstance(item, ast.Name) and item.id in _BLANKET_TYPES
+        for item in candidates
+    )
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body re-raises (any ``raise`` statement)."""
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+class ExceptionDisciplineRule(Rule):
+    """Ban bare ``except:`` and swallowed blanket handlers."""
+
+    id = "exception-discipline"
+    description = (
+        "no bare except:; except Exception: only as a cleanup-and-"
+        "reraise — errors must propagate or be caught by precise type"
+    )
+
+    def check(self, module: LintModule) -> Iterable[Finding]:
+        """Flag bare handlers and blanket handlers that swallow."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    module, node,
+                    "bare `except:` swallows every error including "
+                    "KeyboardInterrupt; catch a precise exception type",
+                )
+            elif _names_blanket_type(node) and not _reraises(node):
+                yield self.finding(
+                    module, node,
+                    "`except Exception:` without re-raise hides invariant "
+                    "violations; catch the precise type or `raise` after "
+                    "cleanup",
+                )

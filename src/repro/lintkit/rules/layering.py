@@ -1,0 +1,99 @@
+"""device-layering: the host stack programs against ``FlashDevice`` only.
+
+PR 2's architectural invariant: everything above the device layer (the
+IPA manager, the storage engine, workloads, the CLI) depends on the
+:class:`repro.ftl.device.FlashDevice` protocol, never on a concrete
+controller.  Outside ``repro.ftl`` and ``repro.testbed`` (the two
+places allowed to know backends exist) it is a finding to
+
+* import the concrete controller classes ``NoFTL`` / ``BlockSSD`` /
+  ``ShardedDevice``, or
+* import from their home modules (``repro.ftl.noftl``,
+  ``repro.ftl.blockdev``, ``repro.ftl.sharded``) at all — factories
+  like ``single_region_device`` are re-exported by ``repro.ftl``.
+
+Relative imports are resolved against the module's package so
+``from ..ftl.noftl import ...`` is caught too.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import Finding, LintModule, Rule
+
+#: Concrete controller class names (protocol-breaking to import).
+CONCRETE_CLASSES = frozenset({"NoFTL", "BlockSSD", "ShardedDevice"})
+
+#: Modules that define concrete controllers.
+CONCRETE_MODULES = frozenset({
+    "repro.ftl.noftl",
+    "repro.ftl.blockdev",
+    "repro.ftl.sharded",
+})
+
+#: Packages allowed to name concrete backends.
+ALLOWED_PACKAGES = ("repro.ftl", "repro.testbed")
+
+
+def resolve_relative(module: LintModule, node: ast.ImportFrom) -> str:
+    """Absolute dotted path of an ``ImportFrom`` target.
+
+    ``level`` counts leading dots: one dot is the current package, each
+    further dot climbs one package.  Mirrors ``importlib._bootstrap``'s
+    resolution, minus error handling we do not need for linting.
+    """
+    if node.level == 0:
+        return node.module or ""
+    package_parts = module.module.split(".")
+    # A module's own name is not a package level; drop it first (for
+    # packages, module names here never end in __init__, see engine).
+    base = package_parts[: len(package_parts) - node.level]
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base)
+
+
+class DeviceLayeringRule(Rule):
+    """No concrete-backend imports above the device layer."""
+
+    id = "device-layering"
+    description = (
+        "outside repro.ftl and repro.testbed, import the FlashDevice "
+        "protocol (repro.ftl.device), never a concrete controller"
+    )
+
+    def check(self, module: LintModule) -> Iterable[Finding]:
+        """Flag concrete-backend imports outside the allowed packages."""
+        if module.in_package(*ALLOWED_PACKAGES) or module.module == "repro":
+            # repro/__init__ re-exports subpackages wholesale; the
+            # lintkit rules may also name the classes in docs/tests.
+            return
+        if module.in_package("repro.lintkit"):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in CONCRETE_MODULES:
+                        yield self.finding(
+                            module, node,
+                            f"imports concrete backend module `{alias.name}`; "
+                            "program against repro.ftl.device.FlashDevice",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                origin = resolve_relative(module, node)
+                if origin in CONCRETE_MODULES:
+                    yield self.finding(
+                        module, node,
+                        f"imports from concrete backend module `{origin}`; "
+                        "factories are re-exported by repro.ftl",
+                    )
+                    continue
+                for alias in node.names:
+                    if alias.name in CONCRETE_CLASSES:
+                        yield self.finding(
+                            module, node,
+                            f"imports concrete controller `{alias.name}`; "
+                            "only repro.ftl and repro.testbed may name backends",
+                        )

@@ -1,0 +1,188 @@
+"""telemetry-guard and counter-naming: telemetry discipline rules.
+
+**telemetry-guard** — the telemetry subsystem's contract (DESIGN.md §7)
+is that a run with no subscriber allocates nothing: event objects are
+built only behind an ``events.active`` check.  Every ``<bus>.emit(...)``
+call site must therefore be guarded, either lexically::
+
+    if self.events.active:
+        self.events.emit(HostIOEvent(...))
+
+or by an early bail-out at the top of the function::
+
+    if not self.events.active:
+        return
+    self.events.emit(HostIOEvent(...))
+
+**counter-naming** — registry metric names follow ``{layer}_{noun}``:
+the first segment names the owning layer (``device_``, ``blockssd_``,
+``ipa_``, ``gc_``, ``flash_``, ``buffer_``, ...), optionally preceded
+by a composite-device prefix (``shard<i>_`` or a runtime ``{prefix}``
+slot), and the rest is lower_snake.  The rule checks every literal or
+f-string name passed to ``.counter()`` / ``.gauge()`` / ``.histogram()``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from ..engine import Finding, LintModule, Rule
+
+#: Marker standing in for an f-string ``{...}`` interpolation slot.
+_SLOT = "\x00"
+
+#: Layer vocabulary for the leading metric-name segment.
+METRIC_LAYERS = frozenset({
+    "device", "blockssd", "ipa", "host", "gc", "flash",
+    "buffer", "chip", "wear", "flush", "engine", "wal",
+})
+
+_LAYER_HEAD_RE = re.compile(
+    r"^(shard\d+_)?(" + "|".join(sorted(METRIC_LAYERS)) + r")_"
+)
+_CHARSET_RE = re.compile(r"^[a-z0-9_]*$")
+
+
+def _mentions_active(node: ast.AST) -> bool:
+    """Whether a test expression references an ``active`` flag."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr == "active":
+            return True
+        if isinstance(sub, ast.Name) and sub.id == "active":
+            return True
+    return False
+
+
+def _terminates(body: list[ast.stmt]) -> bool:
+    """Whether a block ends by leaving the enclosing function/loop."""
+    return bool(body) and isinstance(
+        body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+    )
+
+
+class TelemetryGuardRule(Rule):
+    """Event emission must sit behind an ``events.active`` check."""
+
+    id = "telemetry-guard"
+    description = (
+        "telemetry .emit() calls must be guarded by an events.active "
+        "check so the no-subscriber path allocates nothing"
+    )
+
+    def check(self, module: LintModule) -> Iterable[Finding]:
+        """Flag unguarded ``.emit()`` calls, function by function."""
+        if module.module == "repro.telemetry.events":
+            # The bus itself: emit() is defined (and tested) here.
+            return
+        for func in ast.walk(module.tree):
+            if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, func)
+
+    def _check_function(self, module, func) -> Iterable[Finding]:
+        guarded_lines = self._guarded_spans(func)
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "emit"
+                and not self._is_guarded(node, guarded_lines, func)
+            ):
+                yield self.finding(
+                    module, node,
+                    "emits a telemetry event outside an `events.active` "
+                    "guard; the disabled path must stay allocation-free",
+                )
+
+    def _guarded_spans(self, func) -> list[tuple[int, int]]:
+        """Line spans lying inside an ``if ...active...:`` body."""
+        spans: list[tuple[int, int]] = []
+        for node in ast.walk(func):
+            if isinstance(node, ast.If) and _mentions_active(node.test):
+                is_bailout = (
+                    isinstance(node.test, ast.UnaryOp)
+                    and isinstance(node.test.op, ast.Not)
+                    and _terminates(node.body)
+                )
+                if is_bailout:
+                    # `if not ...active: return` — everything after the
+                    # guard (to the end of the function) is protected.
+                    spans.append((node.end_lineno or node.lineno,
+                                  func.end_lineno or node.lineno))
+                else:
+                    first, last = node.body[0], node.body[-1]
+                    spans.append((first.lineno, last.end_lineno or last.lineno))
+        return spans
+
+    @staticmethod
+    def _is_guarded(node: ast.Call, spans, func) -> bool:
+        line = node.lineno
+        return any(start <= line <= end for start, end in spans)
+
+
+class CounterNamingRule(Rule):
+    """Registry metric names must follow ``{layer}_{noun}``."""
+
+    id = "counter-naming"
+    description = (
+        "metric names are lower_snake and start with their layer "
+        "(device_, blockssd_, ipa_, gc_, flash_, buffer_, ...), with an "
+        "optional shard<i>_/{prefix} slot in front"
+    )
+
+    _METHODS = frozenset({"counter", "gauge", "histogram"})
+
+    def check(self, module: LintModule) -> Iterable[Finding]:
+        """Validate literal metric names at registration call sites."""
+        if module.module == "repro.telemetry.metrics":
+            # The primitives themselves take arbitrary names.
+            return
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._METHODS
+                and node.args
+            ):
+                continue
+            pattern = self._literal_pattern(node.args[0])
+            if pattern is None:
+                continue  # dynamically built name: not statically checkable
+            problem = self._violation(pattern)
+            if problem is not None:
+                shown = pattern.replace(_SLOT, "{…}")
+                yield self.finding(
+                    module, node,
+                    f"metric name `{shown}` {problem}; expected "
+                    "[shard<i>_|{prefix}]<layer>_<lower_snake_noun>",
+                )
+
+    @staticmethod
+    def _literal_pattern(arg: ast.expr) -> str | None:
+        """Literal/f-string name with ``{...}`` slots marked, else None."""
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+        if isinstance(arg, ast.JoinedStr):
+            parts: list[str] = []
+            for value in arg.values:
+                if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                    parts.append(value.value)
+                else:
+                    parts.append(_SLOT)
+            return "".join(parts)
+        return None
+
+    @staticmethod
+    def _violation(pattern: str) -> str | None:
+        """Describe how ``pattern`` breaks the convention (None = ok)."""
+        head = pattern
+        if head.startswith(_SLOT):
+            head = head[1:]  # runtime prefix slot (e.g. shard<i>_)
+        literal_head = head.split(_SLOT, 1)[0]
+        for chunk in pattern.split(_SLOT):
+            if not _CHARSET_RE.match(chunk):
+                return "is not lower_snake ([a-z0-9_])"
+        if not _LAYER_HEAD_RE.match(literal_head):
+            return "does not start with a known layer segment"
+        return None

@@ -13,6 +13,8 @@ recovery paths), so index lookups always agree with the heap.
 
 from __future__ import annotations
 
+import contextlib
+
 from ..errors import SchemaError
 from .btree import BTreeIndex
 from .heap import RID, Table
@@ -91,19 +93,15 @@ class TableIndex:
         """
         from ..errors import StorageError
 
-        try:
+        with contextlib.suppress(StorageError):
             self._tree.insert(self._full_key(values, rid), rid)
-        except StorageError:
-            pass
 
     def note_delete(self, values, rid: RID) -> None:
         """Idempotent: deleting an absent entry is a no-op (see above)."""
         from ..errors import RecordNotFoundError
 
-        try:
+        with contextlib.suppress(RecordNotFoundError):
             self._tree.delete(self._full_key(values, rid))
-        except RecordNotFoundError:
-            pass
 
     def note_update(self, old_values, new_values, rid: RID) -> None:
         """Move the entry when an indexed column changed (idempotent)."""

@@ -133,7 +133,7 @@ class Telemetry:
             help="Gross changed bytes per update flush (ipa and oop)",
         )
         self.appends_per_page = m.histogram(
-            "appends_per_page", APPEND_BUCKETS,
+            "flush_appends_per_page", APPEND_BUCKETS,
             help="Delta-slot occupancy of a page after an IPA flush",
         )
         self._flash_latency: dict[str, Histogram] = {}

@@ -46,7 +46,8 @@ class JsonlTraceWriter:
             self._file = target
             self._owns = False
         else:
-            self._file = open(target, "w", encoding="utf-8")
+            # Owned handle, closed in close(); not a with-block resource.
+            self._file = open(target, "w", encoding="utf-8")  # noqa: SIM115
             self._owns = True
         self._bus: EventBus | None = None
         self.events_written = 0

@@ -15,6 +15,7 @@ page metadata), and the useful M values are around 100-125 bytes.
 
 from __future__ import annotations
 
+import contextlib
 import random
 from dataclasses import dataclass
 
@@ -184,10 +185,8 @@ class LinkBench(Workload):
         id1 = self._pick_node(rng)
         txn = engine.begin()
         for id2 in self._adjacency.get(id1, ())[:10]:
-            try:
+            with contextlib.suppress(RecordNotFoundError):
                 self.link.read(self.link.lookup(id1, 1, id2))
-            except RecordNotFoundError:
-                pass
         engine.commit(txn)
         return "get_link_list"
 
@@ -202,19 +201,15 @@ class LinkBench(Workload):
         neighbours = self._adjacency.get(id1, ())
         txn = engine.begin()
         if neighbours:
-            try:
+            with contextlib.suppress(RecordNotFoundError):
                 self.link.read(self.link.lookup(id1, 1, rng.choice(neighbours)))
-            except RecordNotFoundError:
-                pass
         engine.commit(txn)
         return "get_link"
 
     def _count_links(self, engine, rng) -> str:
         txn = engine.begin()
-        try:
+        with contextlib.suppress(RecordNotFoundError):
             self.count.read(self.count.lookup(self._pick_node(rng), 1))
-        except RecordNotFoundError:
-            pass
         engine.commit(txn)
         return "count_links"
 
@@ -259,10 +254,8 @@ class LinkBench(Workload):
         txn = engine.begin()
         self.node.delete(txn, self.node.lookup(node_id))
         for id2 in self._adjacency.pop(node_id, ()):
-            try:
+            with contextlib.suppress(RecordNotFoundError):
                 self.link.delete(txn, self.link.lookup(node_id, 1, id2))
-            except RecordNotFoundError:
-                pass
         engine.commit(txn)
         self._live_node_set.discard(node_id)
         return "delete_node"
@@ -309,12 +302,10 @@ class LinkBench(Workload):
             return self._get_link(engine, rng)
         id2 = neighbours[-1]
         txn = engine.begin()
-        try:
+        with contextlib.suppress(RecordNotFoundError):
             self.link.delete(txn, self.link.lookup(id1, 1, id2))
             neighbours.pop()
             self._bump_count(txn, id1, -1, rng)
-        except RecordNotFoundError:
-            pass
         engine.commit(txn)
         return "delete_link"
 

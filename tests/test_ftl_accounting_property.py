@@ -6,6 +6,8 @@ run out of space silently.  This drives random write/delta/trim mixes
 and recounts the physical erased pages after every batch.
 """
 
+import contextlib
+
 from hypothesis import given, settings, strategies as st
 
 from repro.flash import FlashGeometry, FlashMemory
@@ -59,11 +61,9 @@ def test_erased_available_matches_physical_truth(operations):
             used = tail_used.get(lpn, TAIL)
             if used + 1 > TAIL:
                 continue
-            try:
+            with contextlib.suppress(DeltaWriteError):
                 device.write_delta(lpn, PAGE - TAIL + used, bytes([value]))
                 tail_used[lpn] = used + 1
-            except DeltaWriteError:
-                pass
         else:
             if device.is_mapped(lpn):
                 device.trim(lpn)

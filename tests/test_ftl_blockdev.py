@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import FTLError
+from repro.errors import DeltaWriteError, FTLError
 from repro.flash import CellType, FlashGeometry, FlashMemory
 from repro.ftl.blockdev import BlockSSD
 from repro.ftl.region import IPAMode
@@ -76,7 +76,7 @@ class TestWriteDelta:
 
     def test_delta_on_unwritten_lba_is_rmw_error(self):
         ssd = make_ssd()
-        with pytest.raises(Exception):
+        with pytest.raises(DeltaWriteError):
             ssd.write_delta(0, 0, b"\x01")
 
     def test_empty_delta_rejected(self):

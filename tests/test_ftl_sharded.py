@@ -155,7 +155,7 @@ class TestMergedReporting:
         assert device.stats.host_page_writes == 2
         assert device.stats.host_writes == 2
         with pytest.raises(AttributeError):
-            device.stats.no_such_counter
+            _ = device.stats.no_such_counter
         device.reset_stats()
         assert device.stats.host_page_writes == 0
         assert device.snapshot()["host_writes"] == 0

@@ -1,0 +1,210 @@
+"""Engine-level iplint tests: suppressions, discovery, reporters, CLI.
+
+Covers the framework itself (everything that is not a specific rule):
+inline suppression comments, module-name derivation, file discovery,
+the JSON reporter schema, the ``repro lint`` subcommand's exit codes,
+and the standing regression check that ``src/repro`` is clean.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.cli import main
+from repro.lintkit import (
+    Finding,
+    Suppressions,
+    iter_python_files,
+    json_report,
+    module_name_for,
+    render_json,
+    render_text,
+    run_lint,
+)
+
+REPRO_SRC = Path(repro.__file__).resolve().parent
+
+BROKEN_SOURCE = """\
+import time
+
+
+def stamp(page):
+    page.data[0] = 0
+    return time.time()
+"""
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+
+class TestSuppressions:
+    def test_line_level_suppression(self, tmp_path):
+        clean = BROKEN_SOURCE.replace(
+            "page.data[0] = 0",
+            "page.data[0] = 0  # iplint: disable=ispp-safety",
+        ).replace(
+            "return time.time()",
+            "return time.time()  # iplint: disable=determinism",
+        )
+        path = tmp_path / "mod.py"
+        path.write_text(clean)
+        assert run_lint([path]) == []
+
+    def test_line_suppression_is_local(self, tmp_path):
+        partial = BROKEN_SOURCE.replace(
+            "page.data[0] = 0",
+            "page.data[0] = 0  # iplint: disable=ispp-safety",
+        )
+        path = tmp_path / "mod.py"
+        path.write_text(partial)
+        findings = run_lint([path])
+        assert [f.rule for f in findings] == ["determinism"]
+
+    def test_file_level_suppression(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "# iplint: disable-file=ispp-safety, determinism\n" + BROKEN_SOURCE
+        )
+        assert run_lint([path]) == []
+
+    def test_disable_all(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text("# iplint: disable-file=all\n" + BROKEN_SOURCE)
+        assert run_lint([path]) == []
+
+    def test_wrong_rule_id_does_not_suppress(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text("# iplint: disable-file=telemetry-guard\n" + BROKEN_SOURCE)
+        assert len(run_lint([path])) == 2
+
+    def test_scan_parses_both_kinds(self):
+        sup = Suppressions.scan(
+            "x = 1  # iplint: disable=a,b\n# iplint: disable-file=c\n"
+        )
+        assert sup.by_line == {1: {"a", "b"}}
+        assert sup.file_wide == {"c"}
+
+
+# ----------------------------------------------------------------------
+# Module naming & discovery
+# ----------------------------------------------------------------------
+
+class TestDiscovery:
+    def test_module_name_from_src_layout(self):
+        assert (
+            module_name_for(REPRO_SRC / "flash" / "page.py") == "repro.flash.page"
+        )
+
+    def test_package_init_drops_suffix(self):
+        assert module_name_for(REPRO_SRC / "ftl" / "__init__.py") == "repro.ftl"
+
+    def test_module_name_with_explicit_root(self, tmp_path):
+        path = tmp_path / "pkg" / "mod.py"
+        path.parent.mkdir()
+        path.write_text("x = 1\n")
+        assert module_name_for(path, root=tmp_path) == "pkg.mod"
+
+    def test_iter_python_files_skips_pycache_and_dedups(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "a.cpython-311.py").write_text("x = 1\n")
+        files = list(iter_python_files([tmp_path, tmp_path / "a.py"]))
+        assert files == [tmp_path / "a.py"]
+
+    def test_syntax_error_propagates(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def broken(:\n")
+        with pytest.raises(SyntaxError):
+            run_lint([path])
+
+
+# ----------------------------------------------------------------------
+# Reporters
+# ----------------------------------------------------------------------
+
+class TestReporters:
+    def _findings(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(BROKEN_SOURCE)
+        return run_lint([path])
+
+    def test_json_schema(self, tmp_path):
+        report = json_report(self._findings(tmp_path))
+        assert report["version"] == 1
+        assert set(report) == {"version", "findings", "summary"}
+        assert report["summary"]["total"] == 2
+        assert report["summary"]["files"] == 1
+        assert report["summary"]["by_rule"] == {
+            "determinism": 1, "ispp-safety": 1,
+        }
+        for entry in report["findings"]:
+            assert set(entry) == {
+                "path", "line", "col", "rule", "severity", "message",
+            }
+            assert entry["severity"] == "error"
+
+    def test_render_json_round_trips(self, tmp_path):
+        text = render_json(self._findings(tmp_path))
+        assert json.loads(text)["summary"]["total"] == 2
+
+    def test_render_text_lines_and_summary(self, tmp_path):
+        text = render_text(self._findings(tmp_path))
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert "error[ispp-safety]" in lines[0] or "error[ispp-safety]" in lines[1]
+        assert lines[-1].startswith("iplint: 2 findings")
+
+    def test_render_text_clean(self):
+        assert render_text([]) == "iplint: no findings\n"
+
+    def test_findings_sort_by_location(self):
+        later = Finding("b.py", 9, 1, "determinism", "x")
+        earlier = Finding("a.py", 2, 1, "ispp-safety", "y")
+        assert sorted([later, earlier]) == [earlier, later]
+
+
+# ----------------------------------------------------------------------
+# CLI + standing repo regression
+# ----------------------------------------------------------------------
+
+class TestLintCli:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["lint", str(REPRO_SRC)]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_default_paths_lint_the_package(self, capsys):
+        assert main(["lint"]) == 0
+
+    def test_broken_fixture_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "mod.py"
+        path.write_text(BROKEN_SOURCE)
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "ispp-safety" in out and "determinism" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        path = tmp_path / "mod.py"
+        path.write_text(BROKEN_SOURCE)
+        assert main(["lint", "--format", "json", str(path)]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["summary"]["total"] == 2
+
+    def test_unparseable_file_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "broken.py"
+        path.write_text("def broken(:\n")
+        assert main(["lint", str(path)]) == 2
+        assert "cannot parse" in capsys.readouterr().err
+
+
+def test_src_repro_is_iplint_clean():
+    """The standing invariant: the shipped tree has zero findings.
+
+    New code that violates a rule fails here (and in the CI lint job)
+    rather than waiting for a reviewer to notice.
+    """
+    findings = run_lint([REPRO_SRC])
+    assert findings == [], "\n".join(str(f) for f in findings)

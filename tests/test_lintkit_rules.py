@@ -1,0 +1,436 @@
+"""Per-rule fixtures for iplint: one passing and one failing snippet each.
+
+Every rule is exercised against a minimal source snippet that violates
+the invariant it guards and a sibling snippet that honours it, plus the
+rule-specific edge cases (package exemptions, guard recognition,
+re-raise handling, relative-import resolution).
+"""
+
+import ast
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lintkit import LintModule, Suppressions, lint_module
+from repro.lintkit.rules import (
+    RULE_CLASSES,
+    CounterNamingRule,
+    DeterminismRule,
+    DeviceLayeringRule,
+    ExceptionDisciplineRule,
+    IsppSafetyRule,
+    TelemetryGuardRule,
+    default_rules,
+    rule_by_id,
+)
+
+
+def lint_snippet(source, rule, module="repro.storage.fixture"):
+    """Run one rule over a dedented source snippet."""
+    source = textwrap.dedent(source)
+    return lint_module(
+        LintModule(
+            path=Path("fixture.py"),
+            module=module,
+            source=source,
+            tree=ast.parse(source),
+            suppressions=Suppressions.scan(source),
+        ),
+        [rule],
+    )
+
+
+# ----------------------------------------------------------------------
+# ispp-safety
+# ----------------------------------------------------------------------
+
+ISPP_FAIL = """
+    def write(page):
+        page.data[0:4] = b"ABCD"
+"""
+
+ISPP_PASS = """
+    def write(page):
+        page.program(b"ABCD", offset=0)
+        return page.read_slice(0, 4)
+"""
+
+
+class TestIsppSafety:
+    def test_mutation_flagged(self):
+        findings = lint_snippet(ISPP_FAIL, IsppSafetyRule())
+        assert len(findings) == 1
+        assert findings[0].rule == "ispp-safety"
+        assert "mutates" in findings[0].message
+
+    def test_primitive_use_clean(self):
+        assert lint_snippet(ISPP_PASS, IsppSafetyRule()) == []
+
+    def test_read_slicing_flagged(self):
+        findings = lint_snippet(
+            "def peek(page):\n    return bytes(page.data[4:8])\n",
+            IsppSafetyRule(),
+        )
+        assert len(findings) == 1
+        assert "reads" in findings[0].message
+
+    def test_oob_and_mutator_calls_flagged(self):
+        findings = lint_snippet(
+            """
+            def bad(page):
+                page.oob[0] = 0
+                page.data.extend(b"x")
+                page.data = bytearray(8)
+            """,
+            IsppSafetyRule(),
+        )
+        assert [f.line for f in findings] == [3, 4, 5]
+
+    def test_flash_package_exempt(self):
+        findings = lint_snippet(
+            ISPP_FAIL, IsppSafetyRule(), module="repro.flash.page"
+        )
+        assert findings == []
+
+    def test_unrelated_attributes_clean(self):
+        findings = lint_snippet(
+            "def ok(io, buf):\n    return io.payload[0] + buf.body[1]\n",
+            IsppSafetyRule(),
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# device-layering
+# ----------------------------------------------------------------------
+
+LAYERING_FAIL = """
+    from repro.ftl.noftl import NoFTL
+
+    def build():
+        return NoFTL
+"""
+
+LAYERING_PASS = """
+    from repro.ftl import single_region_device
+    from repro.ftl.device import FlashDevice
+
+    def build(device: FlashDevice):
+        return device
+"""
+
+
+class TestDeviceLayering:
+    def test_concrete_import_flagged(self):
+        findings = lint_snippet(LAYERING_FAIL, DeviceLayeringRule())
+        assert findings and findings[0].rule == "device-layering"
+
+    def test_protocol_import_clean(self):
+        assert lint_snippet(LAYERING_PASS, DeviceLayeringRule()) == []
+
+    def test_relative_import_resolved(self):
+        findings = lint_snippet(
+            "from ..ftl.noftl import single_region_device\n",
+            DeviceLayeringRule(),
+            module="repro.ipl.ipa_replay",
+        )
+        assert len(findings) == 1
+        assert "repro.ftl.noftl" in findings[0].message
+
+    def test_class_name_from_any_module_flagged(self):
+        findings = lint_snippet(
+            "from repro.ftl import BlockSSD\n", DeviceLayeringRule()
+        )
+        assert len(findings) == 1
+        assert "BlockSSD" in findings[0].message
+
+    def test_plain_module_import_flagged(self):
+        findings = lint_snippet(
+            "import repro.ftl.sharded\n", DeviceLayeringRule()
+        )
+        assert len(findings) == 1
+
+    @pytest.mark.parametrize(
+        "module", ["repro.ftl.blockdev", "repro.testbed", "repro"]
+    )
+    def test_allowed_packages_exempt(self, module):
+        assert lint_snippet(LAYERING_FAIL, DeviceLayeringRule(), module=module) == []
+
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+
+DETERMINISM_FAIL = """
+    import random
+    import time
+
+    def jitter():
+        return time.time() + random.random()
+"""
+
+DETERMINISM_PASS = """
+    import random
+
+    def jitter(rng: random.Random, now: float):
+        return now + rng.random()
+
+    def make_rng(seed: int):
+        return random.Random(seed)
+"""
+
+
+class TestDeterminism:
+    def test_wall_clock_and_global_rng_flagged(self):
+        findings = lint_snippet(DETERMINISM_FAIL, DeterminismRule())
+        assert {f.rule for f in findings} == {"determinism"}
+        messages = " ".join(f.message for f in findings)
+        assert "time.time()" in messages and "random.random()" in messages
+
+    def test_injected_rng_clean(self):
+        assert lint_snippet(DETERMINISM_PASS, DeterminismRule()) == []
+
+    @pytest.mark.parametrize(
+        "call",
+        ["time.monotonic()", "time.perf_counter_ns()",
+         "datetime.now()", "datetime.utcnow()", "date.today()",
+         "random.randint(0, 9)", "random.choice(items)", "random.seed(1)"],
+    )
+    def test_banned_calls(self, call):
+        findings = lint_snippet(f"def f(items):\n    return {call}\n",
+                                DeterminismRule())
+        assert len(findings) == 1
+
+    @pytest.mark.parametrize(
+        "call", ["random.Random(7)", "random.SystemRandom()", "rng.random()"]
+    )
+    def test_allowed_calls(self, call):
+        assert lint_snippet(f"def f(rng):\n    return {call}\n",
+                            DeterminismRule()) == []
+
+
+# ----------------------------------------------------------------------
+# telemetry-guard
+# ----------------------------------------------------------------------
+
+GUARD_FAIL = """
+    def on_host_read(self, lpn):
+        self.events.emit(HostIOEvent(op="read", lpn=lpn))
+"""
+
+GUARD_PASS = """
+    def on_host_read(self, lpn):
+        if self.events.active:
+            self.events.emit(HostIOEvent(op="read", lpn=lpn))
+"""
+
+
+class TestTelemetryGuard:
+    def test_unguarded_emit_flagged(self):
+        findings = lint_snippet(GUARD_FAIL, TelemetryGuardRule())
+        assert len(findings) == 1
+        assert findings[0].rule == "telemetry-guard"
+
+    def test_guarded_emit_clean(self):
+        assert lint_snippet(GUARD_PASS, TelemetryGuardRule()) == []
+
+    def test_bailout_guard_recognised(self):
+        findings = lint_snippet(
+            """
+            def on_host_read(self, lpn):
+                if not self.events.active:
+                    return
+                self.events.emit(HostIOEvent(op="read", lpn=lpn))
+            """,
+            TelemetryGuardRule(),
+        )
+        assert findings == []
+
+    def test_emit_before_bailout_flagged(self):
+        findings = lint_snippet(
+            """
+            def on_host_read(self, lpn):
+                self.events.emit(HostIOEvent(op="read", lpn=lpn))
+                if not self.events.active:
+                    return
+            """,
+            TelemetryGuardRule(),
+        )
+        assert len(findings) == 1
+
+    def test_unrelated_condition_not_a_guard(self):
+        findings = lint_snippet(
+            """
+            def on_host_read(self, lpn):
+                if lpn > 0:
+                    self.events.emit(HostIOEvent(op="read", lpn=lpn))
+            """,
+            TelemetryGuardRule(),
+        )
+        assert len(findings) == 1
+
+    def test_event_bus_module_exempt(self):
+        findings = lint_snippet(
+            GUARD_FAIL, TelemetryGuardRule(), module="repro.telemetry.events"
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# counter-naming
+# ----------------------------------------------------------------------
+
+NAMING_FAIL = """
+    def instrument(metrics):
+        metrics.counter("total_requests", help="requests")
+"""
+
+NAMING_PASS = """
+    def instrument(metrics, prefix, op):
+        metrics.counter("device_host_reads", help="reads")
+        metrics.gauge(f"{prefix}wear_max_erase_count")
+        metrics.histogram(f"flash_{op}_latency_us", (1, 2))
+        metrics.counter("shard3_device_gc_erases")
+"""
+
+
+class TestCounterNaming:
+    def test_layerless_name_flagged(self):
+        findings = lint_snippet(NAMING_FAIL, CounterNamingRule())
+        assert len(findings) == 1
+        assert "total_requests" in findings[0].message
+
+    def test_convention_names_clean(self):
+        assert lint_snippet(NAMING_PASS, CounterNamingRule()) == []
+
+    def test_bad_charset_flagged(self):
+        findings = lint_snippet(
+            'def f(m):\n    m.gauge("device_Bad-Name")\n', CounterNamingRule()
+        )
+        assert len(findings) == 1
+        assert "lower_snake" in findings[0].message
+
+    def test_dynamic_name_skipped(self):
+        findings = lint_snippet(
+            "def f(m, name):\n    m.counter(name)\n", CounterNamingRule()
+        )
+        assert findings == []
+
+    def test_fstring_with_bad_literal_head_flagged(self):
+        findings = lint_snippet(
+            'def f(m, op):\n    m.counter(f"latency_{op}_total")\n',
+            CounterNamingRule(),
+        )
+        assert len(findings) == 1
+
+
+# ----------------------------------------------------------------------
+# exception-discipline
+# ----------------------------------------------------------------------
+
+EXCEPT_FAIL = """
+    def run(step):
+        try:
+            step()
+        except:
+            pass
+"""
+
+EXCEPT_PASS = """
+    def run(engine, step):
+        try:
+            step()
+        except ValueError:
+            return None
+        except Exception:
+            engine.unpin(dirty=True)
+            raise
+"""
+
+
+class TestExceptionDiscipline:
+    def test_bare_except_flagged(self):
+        findings = lint_snippet(EXCEPT_FAIL, ExceptionDisciplineRule())
+        assert len(findings) == 1
+        assert "bare" in findings[0].message
+
+    def test_precise_and_reraise_clean(self):
+        assert lint_snippet(EXCEPT_PASS, ExceptionDisciplineRule()) == []
+
+    def test_swallowed_blanket_flagged(self):
+        findings = lint_snippet(
+            """
+            def run(step):
+                try:
+                    step()
+                except Exception:
+                    return None
+            """,
+            ExceptionDisciplineRule(),
+        )
+        assert len(findings) == 1
+        assert "re-raise" in findings[0].message
+
+    def test_blanket_in_tuple_flagged(self):
+        findings = lint_snippet(
+            """
+            def run(step):
+                try:
+                    step()
+                except (ValueError, BaseException):
+                    return None
+            """,
+            ExceptionDisciplineRule(),
+        )
+        assert len(findings) == 1
+
+
+# ----------------------------------------------------------------------
+# Registry & cross-rule behaviour
+# ----------------------------------------------------------------------
+
+class TestRegistry:
+    def test_every_rule_has_unique_id_and_description(self):
+        ids = [cls.id for cls in RULE_CLASSES]
+        assert len(set(ids)) == len(ids) == 6
+        assert all(cls.description for cls in RULE_CLASSES)
+
+    def test_default_rules_instantiates_all(self):
+        assert {type(rule) for rule in default_rules()} == set(RULE_CLASSES)
+
+    def test_rule_by_id(self):
+        assert isinstance(rule_by_id("ispp-safety"), IsppSafetyRule)
+        with pytest.raises(KeyError):
+            rule_by_id("no-such-rule")
+
+    def test_full_set_on_multi_violation_snippet(self):
+        source = """
+            import time
+            from repro.ftl.noftl import NoFTL
+
+            def bad(page, metrics, events):
+                page.data[0] = 0
+                metrics.counter("oops_total")
+                events.emit(object())
+                try:
+                    pass
+                except:
+                    pass
+                return time.time()
+        """
+        source = textwrap.dedent(source)
+        findings = lint_module(
+            LintModule(
+                path=Path("fixture.py"),
+                module="repro.storage.fixture",
+                source=source,
+                tree=ast.parse(source),
+                suppressions=Suppressions.scan(source),
+            ),
+            default_rules(),
+        )
+        assert {f.rule for f in findings} == {
+            "ispp-safety", "device-layering", "determinism",
+            "telemetry-guard", "counter-naming", "exception-discipline",
+        }

@@ -54,6 +54,12 @@ SURFACE = {
         "sharded_device", "make_device", "BACKENDS",
     ],
     "repro.cli": ["main", "build_parser", "parse_scheme"],
+    "repro.lintkit": [
+        "Rule", "Finding", "LintModule", "Suppressions",
+        "run_lint", "lint_module", "load_module", "iter_python_files",
+        "module_name_for", "RULE_CLASSES", "default_rules", "rule_by_id",
+        "json_report", "render_json", "render_text",
+    ],
 }
 
 

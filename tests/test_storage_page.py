@@ -190,7 +190,7 @@ class TestTracking:
 
     def test_track_overflow_flag(self):
         page = SlottedPage.format(0, 8192, 0)
-        page.TRACK_LIMIT  # class attr, default 4096
+        assert page.TRACK_LIMIT == 4096  # class-attr default
         page.reset_tracking()
         page.write_bytes(HEADER_SIZE, bytes(range(256)) * 20)  # ~5120 changes
         assert page.track_overflowed

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import NxMScheme
-from repro.errors import SchemaError
+from repro.errors import SchemaError, StorageError
 from repro.storage import (
     Char,
     Column,
@@ -100,7 +100,7 @@ class TestBasics:
 
     def test_missing_table_rejected(self):
         engine = make_engine()
-        with pytest.raises(Exception):
+        with pytest.raises(StorageError):
             engine.create_index("i", "nope", ["x"])
 
     def test_varchar_column_not_indexable(self):
