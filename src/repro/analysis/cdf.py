@@ -125,21 +125,31 @@ class CDF:
         finite bucket bound becomes an x point carrying the cumulative
         percent of samples at or below it, so figure 7-10 style latency
         CDFs can be rendered straight from the telemetry layer instead
-        of bespoke per-sample accumulation.  The ``+Inf`` overflow
-        bucket is folded into the last finite bound.
+        of bespoke per-sample accumulation.  When some (but not all)
+        samples land in the ``+Inf`` overflow bucket, that mass is
+        folded into the last finite bound — a documented lossy
+        rendering choice for finite figure axes.
+
+        Edge cases: an empty histogram gives an empty CDF, and so does
+        one whose *every* sample overflowed the last finite bound
+        (including the single-bucket histogram) — there is no finite x
+        at which the distribution is known, and pretending the overflow
+        mass sits at the last bound would report 100% for a size no
+        sample is actually below.
         """
         if histogram.count == 0:
             return cls()
         total = histogram.count
-        xs: list[int] = []
-        ys: list[float] = []
-        for bound, cumulative in histogram.cumulative_counts():
-            if bound == float("inf"):
-                if xs:
-                    ys[-1] = 100.0
-                break
-            xs.append(bound)
-            ys.append(100.0 * cumulative / total)
+        finite = [
+            (bound, cumulative)
+            for bound, cumulative in histogram.cumulative_counts()
+            if bound != float("inf")
+        ]
+        if not finite or finite[-1][1] == 0:
+            return cls()
+        xs = [bound for bound, __ in finite]
+        ys = [100.0 * cumulative / total for __, cumulative in finite]
+        ys[-1] = 100.0
         return cls(xs, ys)
 
     @classmethod

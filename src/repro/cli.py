@@ -9,6 +9,7 @@ Usage (also via ``python -m repro``)::
     python -m repro trace-replay tatp.trace --scheme 2x4
     python -m repro trace --workload tpcb --out run.jsonl
     python -m repro metrics --workload tpcb --format prom
+    python -m repro crashtest --backend sharded --shards 4
 
 ``run`` executes one configuration and prints the counters the paper's
 tables report; ``compare`` runs the same workload with and without IPA
@@ -268,6 +269,47 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_crashtest(args) -> int:
+    """``repro crashtest``: seeded power-fail matrix with verification.
+
+    Probes the workload's operation count, crashes at strided op-counts
+    (torn flash state included), recovers, and diffs committed data
+    against a shadow model.  Exits 1 on any committed-data divergence.
+    """
+    from .crashkit import CrashTestHarness
+
+    harness = CrashTestHarness(
+        backend=args.backend,
+        shards=args.shards,
+        scheme=args.scheme,
+        seed=args.seed,
+        txns=args.txns,
+    )
+    result = harness.run_matrix(cases=args.cases, fraction=args.fraction)
+    rows = []
+    for case in result.cases:
+        rows.append([
+            case.points[0].at_op,
+            case.crash_site or "(no crash)",
+            case.committed_txns,
+            case.recovery_attempts,
+            case.report.undone if case.report else 0,
+            len(case.divergences),
+        ])
+    print(format_table(
+        ["crash @op", "site", "committed", "recoveries", "undone", "divergences"],
+        rows,
+        title=(f"crash matrix: {_backend_label(args)}, scheme {args.scheme}, "
+               f"seed {args.seed}, {result.total_ops} ops probed"),
+    ))
+    for case in result.cases:
+        for divergence in case.divergences:
+            print(f"  op {case.points[0].at_op}: {divergence}", file=sys.stderr)
+    print(f"{len(result.cases)} cases, {result.crashes} crashes injected, "
+          f"{result.divergences} divergences")
+    return 0 if result.ok else 1
+
+
 def cmd_lint(args) -> int:
     """``repro lint``: run the iplint invariant rules over source paths.
 
@@ -376,6 +418,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", choices=("prom", "csv"), default="prom")
     p.add_argument("--out", default=None, help="write dump here (default stdout)")
     p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser("crashtest", help="power-fail injection matrix")
+    p.add_argument("--backend", choices=BACKENDS, default="noftl",
+                   help="storage backend the engine runs on")
+    p.add_argument("--shards", type=int, default=4,
+                   help="controller count for the sharded backend")
+    p.add_argument("--scheme", type=parse_scheme, default=NxMScheme(2, 4))
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--txns", type=int, default=40,
+                   help="transactions in the crash workload")
+    p.add_argument("--cases", type=int, default=12,
+                   help="crash op-counts to sample across the run")
+    p.add_argument("--fraction", type=float, default=0.5,
+                   help="per-pulse completion chance of torn operations")
+    p.set_defaults(func=cmd_crashtest)
 
     p = sub.add_parser("lint", help="run the iplint invariant linter")
     p.add_argument("paths", nargs="*",

@@ -98,26 +98,52 @@ def split_pairs(scheme: NxMScheme, body_pairs: list[Pair], meta_pairs: list[Pair
     return records
 
 
-def decode_area(scheme: NxMScheme, page_image: bytes, page_size: int) -> tuple[list[Pair], int]:
+def decode_area(
+    scheme: NxMScheme,
+    page_image: bytes,
+    page_size: int,
+    max_slots: int | None = None,
+) -> tuple[list[Pair], int]:
     """Decode every programmed delta record of a raw flash page image.
 
     Returns ``(pairs_in_forward_order, slots_used)``.  Records are
     applied oldest first, so later appends win on overlapping offsets —
     the paper's forward-order replay (Section 6.2).
+
+    Without ``max_slots`` the scan stops at the first erased slot (the
+    legacy contiguous-area contract).  With ``max_slots`` — the count of
+    OOB commit marks the :class:`~repro.core.manager.IPAManager` wrote —
+    exactly that many slots are decoded: slots beyond the mark count are
+    discarded as torn/uncommitted, and erased slots *within* the marked
+    range are skipped as gaps (a black-box device may have folded their
+    records into the page body during an internal read-modify-write).
+    ``slots_used`` is then the mark count, i.e. the next append index.
     """
     if not scheme.enabled:
         return [], 0
     pairs: list[Pair] = []
-    slots_used = 0
     area_start = scheme.area_offset(page_size)
-    for index in range(scheme.n):
+    if max_slots is None:
+        slots_used = 0
+        for index in range(scheme.n):
+            start = area_start + index * scheme.record_size
+            record = decode_record(
+                scheme, bytes(page_image[start : start + scheme.record_size])
+            )
+            if record is None:
+                break
+            pairs.extend(record)
+            slots_used = index + 1
+        return pairs, slots_used
+    limit = min(scheme.n, max(0, max_slots))
+    for index in range(limit):
         start = area_start + index * scheme.record_size
-        record = decode_record(scheme, bytes(page_image[start : start + scheme.record_size]))
-        if record is None:
-            break
-        pairs.extend(record)
-        slots_used = index + 1
-    return pairs, slots_used
+        record = decode_record(
+            scheme, bytes(page_image[start : start + scheme.record_size])
+        )
+        if record is not None:
+            pairs.extend(record)
+    return pairs, limit
 
 
 def apply_pairs(image: bytearray, pairs: list[Pair]) -> None:

@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Callable
 
 from ..errors import DeltaWriteError, IPAError
-from ..flash.ecc import EccSegment, SegmentedEcc
+from ..flash.ecc import CODE_SIZE, EccSegment, SegmentedEcc
 from ..ftl.device import FlashDevice
 from . import delta
 from .scheme import NxMScheme, SCHEME_OFF
@@ -32,6 +32,12 @@ from .stats import IPAStats
 #: Observer of flush decisions, for workload analysis:
 #: (lpn, kind, net_body_bytes, gross_bytes, overflowed)
 FlushObserver = Callable[[int, str, int, int, bool], None]
+
+#: OOB commit mark: programmed over an erased (0xFF) mark byte after a
+#: delta record's data lands.  Any value with cleared bits works — a
+#: torn mark program still clears *some* bit, so "mark != 0xFF" is the
+#: commit test and it tolerates partial programming of the mark itself.
+_MARK_BYTE = 0xA5
 
 
 class IPAManager:
@@ -57,6 +63,14 @@ class IPAManager:
         #: Telemetry handle (``repro.telemetry.Telemetry``); ``None``
         #: keeps the flush path free of any event work.
         self.telemetry = telemetry
+        if scheme.enabled:
+            reserved = CODE_SIZE * (1 + scheme.n) if ecc_enabled else 0
+            if reserved + scheme.n > device.oob_size:
+                raise IPAError(
+                    f"scheme {scheme} needs {scheme.n} OOB commit-mark bytes "
+                    f"(+{reserved} ECC bytes) but the device OOB holds only "
+                    f"{device.oob_size}"
+                )
         self._ecc = self._build_ecc() if ecc_enabled else None
 
     def _build_ecc(self) -> SegmentedEcc:
@@ -83,6 +97,13 @@ class IPAManager:
         The image's delta area is reset to the erased state: in the
         buffer it is scratch space, not content.
 
+        Only slots covered by an OOB commit mark are decoded: a slot
+        whose data landed but whose mark program never completed was
+        torn by a power failure, and the write-data-then-mark ordering
+        guarantees any marked slot's data is complete.  Erased slots
+        *inside* the marked range are absorption gaps (a black-box
+        device folded them into the body) and are skipped.
+
         Pages from non-IPA regions reserve no delta area (selective
         placement); their header says so and decoding is skipped.
         (Limitation: with ECC enabled in a mixed-region configuration,
@@ -93,19 +114,39 @@ class IPAManager:
         io = self.device.read(lpn, now)
         image = bytearray(io.data)
         has_area = delta_area_size_of(image) == self.scheme.area_size > 0
+        oob: bytes | None = None
+        marked: int | None = None
+        if has_area:
+            oob = self.device.read_oob(lpn)
+            marked = self._count_marked(oob)
         if self._ecc is not None:
             used = 0
             if has_area:
-                __, used = delta.decode_area(self.scheme, image, len(image))
-            oob = self.device.read_oob(lpn)
+                __, used = delta.decode_area(
+                    self.scheme, image, len(image), max_slots=marked
+                )
+            if oob is None:
+                oob = self.device.read_oob(lpn)
             self.stats.ecc_corrected_bits += self._ecc.verify(image, oob, 1 + used)
         slots_used = 0
         if has_area:
-            pairs, slots_used = delta.decode_area(self.scheme, image, len(image))
+            pairs, slots_used = delta.decode_area(
+                self.scheme, image, len(image), max_slots=marked
+            )
             delta.apply_pairs(image, pairs)
             area = self.scheme.area_offset(len(image))
             image[area:] = b"\xff" * self.scheme.area_size
         return image, slots_used, io.latency_us
+
+    def _count_marked(self, oob: bytes) -> int:
+        """Number of committed slots: leading non-erased commit marks."""
+        base = len(oob) - self.scheme.n
+        marked = 0
+        for index in range(self.scheme.n):
+            if oob[base + index] == 0xFF:
+                break
+            marked += 1
+        return marked
 
     # ------------------------------------------------------------------
     # Flush path
@@ -168,6 +209,16 @@ class IPAManager:
         if self._ecc is not None:
             self._program_delta_ecc(frame, records, data, offset)
         frame.slots_used += len(records)
+        # Commit marks go last: data (and its ECC) first, then the
+        # marks, so a marked slot is always complete.  All marks up to
+        # slots_used are re-programmed every time — a black-box device
+        # may have silently relocated the page to a fresh erased OOB
+        # during an internal read-modify-write, and re-clearing already
+        # cleared bits is a legal (no-op) ISPP program otherwise.
+        marks = bytes([_MARK_BYTE]) * frame.slots_used
+        self.device.write_oob(
+            frame.lpn, marks, self.device.oob_size - self.scheme.n
+        )
         net, gross = len(body), len(body) + len(meta)
         page.reset_tracking()
         self.stats.ipa_flushes += 1

@@ -1,0 +1,37 @@
+"""Deterministic power-failure injection and crash-recovery verification.
+
+The paper's Section 6.2 argues IPA composes with ARIES-style restart
+recovery; this package is the machinery that *tests* the claim:
+
+* :mod:`repro.crashkit.scheduler` — :class:`CrashPoint` /
+  :class:`CrashScheduler`: op-count or seeded-probabilistic triggers
+  that interrupt flash commands mid-operation, leaving ISPP-consistent
+  partial state (a prefix of the program pulses, a partially-erased
+  block), and fire in FTL- and engine-level crash windows (GC victim
+  migration, mapping updates, undo).
+* :mod:`repro.crashkit.harness` — :class:`CrashTestHarness`: runs a
+  seeded transaction stream against a shadow model, pulls the plug at a
+  scheduled point, reopens the engine, runs ``recover()`` (surviving
+  repeated crashes *during* recovery) and diffs every committed record
+  against the shadow.
+
+Quick start::
+
+    from repro.crashkit import CrashTestHarness
+
+    harness = CrashTestHarness(backend="sharded", shards=4, seed=7)
+    result = harness.run_matrix(cases=12)
+    assert result.divergence_count == 0
+"""
+
+from .scheduler import CrashPoint, CrashScheduler, ScopedCrashScheduler
+from .harness import CrashCase, CrashMatrixResult, CrashTestHarness
+
+__all__ = [
+    "CrashCase",
+    "CrashMatrixResult",
+    "CrashPoint",
+    "CrashScheduler",
+    "CrashTestHarness",
+    "ScopedCrashScheduler",
+]

@@ -44,6 +44,22 @@ class AddressError(FlashError):
     """A physical or logical address is out of range."""
 
 
+class PowerFailureError(ReproError):
+    """A scheduled power failure fired (``repro.crashkit`` injection).
+
+    Carries the crash ``site`` (e.g. ``"flash.program"``,
+    ``"shard2/noftl.map_update"``) and the global operation index at
+    which the scheduler pulled the plug.  The partial on-flash state the
+    interrupted operation left behind has already been applied when this
+    propagates.
+    """
+
+    def __init__(self, site: str, op_index: int) -> None:
+        super().__init__(f"power failure at {site} (op {op_index})")
+        self.site = site
+        self.op_index = op_index
+
+
 class FTLError(ReproError):
     """Base class for errors raised by the NoFTL / FTL layer."""
 

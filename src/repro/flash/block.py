@@ -80,6 +80,23 @@ class FlashBlock:
         self.erase_count += 1
         self._highest_programmed = -1
 
+    def erase_torn(self, decide) -> int:
+        """Apply an *interrupted* erase: only a subset of pages cleared.
+
+        Power was cut mid-erase.  Each page reverts to all-``0xFF`` only
+        when ``decide()`` returns True; the rest keep their charge.  The
+        operation never completed, so the wear counter does not advance
+        and ``highest_programmed`` is retained — the block must still be
+        treated as in use until a full :meth:`erase` succeeds.  Returns
+        the number of pages that did get cleared.
+        """
+        cleared = 0
+        for page in self.pages:
+            if decide():
+                page.erase()
+                cleared += 1
+        return cleared
+
     def valid_erased_pages(self) -> int:
         """Number of still-unprogrammed pages (free for allocation)."""
         return sum(1 for page in self.pages if not page.programmed)

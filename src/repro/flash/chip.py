@@ -50,6 +50,16 @@ class FlashChip:
         self.busy_time_us += duration_us
         return end
 
+    def charge(self, duration_us: float) -> None:
+        """Account pipeline time for a command that never completed.
+
+        An interrupted program/erase still occupied the die until power
+        was lost; the partial duration counts toward utilization but
+        does not move :attr:`busy_until` — after the failure there is no
+        pipeline left to serialize against.
+        """
+        self.busy_time_us += duration_us
+
     @property
     def cell_type(self) -> CellType:
         return self.blocks[0].cell_type

@@ -122,6 +122,12 @@ class SegmentedEcc:
     def verify(self, page_data: bytearray, oob: bytes, programmed_segments: int) -> int:
         """Check and correct the first ``programmed_segments`` segments.
 
+        A segment whose stored code is still erased (all ``0xFF``) is
+        skipped: its content was never finalized — either the segment
+        slot is an absorption gap or a power failure hit between the
+        data program and the code append — so there is nothing sound to
+        check against.
+
         Returns the total number of corrected bits; raises
         :class:`UncorrectableError` on an unrecoverable segment.
         """
@@ -129,6 +135,8 @@ class SegmentedEcc:
         for index in range(programmed_segments):
             seg = self.segments[index]
             code = oob[self.oob_offset(index) : self.oob_offset(index) + CODE_SIZE]
+            if all(b == 0xFF for b in code):
+                continue
             region = bytearray(page_data[seg.offset : seg.offset + seg.length])
             corrected += correct(region, code)
             page_data[seg.offset : seg.offset + seg.length] = region

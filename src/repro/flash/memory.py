@@ -84,6 +84,9 @@ class FlashMemory:
         #: Telemetry handle (``repro.telemetry.Telemetry``); ``None``
         #: keeps the command path free of any event work.
         self.telemetry = None
+        #: Crash-injection handle (``repro.crashkit.CrashScheduler``);
+        #: ``None`` keeps the command path free of any injection work.
+        self.crashkit = None
 
     # ------------------------------------------------------------------
     # Addressing helpers
@@ -115,6 +118,8 @@ class FlashMemory:
     ) -> OpResult:
         """Read ``length`` bytes of a page (whole page by default)."""
         page = self.page_at(address)
+        if self.crashkit is not None:
+            self.crashkit.site("flash.read")
         if length is None:
             length = self.geometry.page_size - offset
         data = bytes(page.data[offset : offset + length])
@@ -145,6 +150,20 @@ class FlashMemory:
         page = self.page_at(address)
         block = self.chips[address.chip].blocks[address.block]
         first = not page.programmed
+        if self.crashkit is not None:
+            point = self.crashkit.tick("flash.program")
+            if point is not None:
+                changed = page.program_torn(data, offset, self.crashkit.torn_decider(point))
+                if changed and first:
+                    block.note_first_program(address.page, enforce_order=False)
+                kind = self.page_kind(address)
+                partial = self.latency.interrupted(
+                    self.latency.program(self.geometry.cell_type, kind, len(data)),
+                    point.fraction,
+                )
+                self.chip_of(address).charge(partial)
+                self.stats.busy_time_us += partial
+                self.crashkit.fail("flash.program", point)
         if first:
             block.note_first_program(address.page, self.enforce_program_order)
         page.program(data, offset)
@@ -165,8 +184,14 @@ class FlashMemory:
         return OpResult(None, latency)
 
     def program_oob(self, address: PhysicalAddress, data: bytes, offset: int = 0) -> None:
-        """ISPP-append spare-area bytes (ECC codes for delta records)."""
-        self.page_at(address).program_oob(data, offset)
+        """ISPP-append spare-area bytes (ECC codes, IPA commit marks)."""
+        page = self.page_at(address)
+        if self.crashkit is not None:
+            point = self.crashkit.tick("flash.program_oob")
+            if point is not None:
+                page.program_oob_torn(data, offset, self.crashkit.torn_decider(point))
+                self.crashkit.fail("flash.program_oob", point)
+        page.program_oob(data, offset)
 
     def erase(self, chip: int, block: int) -> OpResult:
         """Erase one block; every page returns to the all-``0xFF`` state."""
@@ -174,6 +199,16 @@ class FlashMemory:
             raise EraseError(f"chip {chip} out of range")
         if not 0 <= block < len(self.chips[chip].blocks):
             raise EraseError(f"block {block} out of range")
+        if self.crashkit is not None:
+            point = self.crashkit.tick("flash.erase")
+            if point is not None:
+                self.chips[chip].blocks[block].erase_torn(self.crashkit.torn_decider(point))
+                partial = self.latency.interrupted(
+                    self.latency.erase(self.geometry.cell_type), point.fraction
+                )
+                self.chips[chip].charge(partial)
+                self.stats.busy_time_us += partial
+                self.crashkit.fail("flash.erase", point)
         self.chips[chip].blocks[block].erase()
         latency = self.latency.erase(self.geometry.cell_type)
         self.stats.block_erases += 1

@@ -103,6 +103,47 @@ class FlashPage:
         self.programmed = True
         self.program_count += 1
 
+    def program_torn(self, data: bytes, offset: int, decide) -> bool:
+        """Apply an *interrupted* ISPP program: a prefix of the pulses.
+
+        Power was cut mid-operation.  Each 1 -> 0 bit transition the full
+        program would have performed lands only when ``decide()`` returns
+        True (the pulse train for that cell completed before the plug was
+        pulled); cells never lose charge, so the torn state is always
+        ISPP-consistent: ``result = current & ~landed_subset``.  The
+        request is validated exactly like :meth:`program` — an illegal
+        transition raises before any cell changes.  Returns whether any
+        cell gained charge.
+        """
+        return self._torn_apply(self.data, data, offset, self._page_size, "data", decide)
+
+    def program_oob_torn(self, data: bytes, offset: int, decide) -> bool:
+        """Interrupted spare-area program (see :meth:`program_torn`)."""
+        return self._torn_apply(self.oob, data, offset, self._oob_size, "oob", decide)
+
+    def _torn_apply(self, cells, data: bytes, offset: int, limit: int, what: str, decide) -> bool:
+        self._check_range(offset, len(data), limit, what)
+        current = bytes(cells[offset : offset + len(data)])
+        target = ispp.program_result(current, data)  # raises on violation
+        changed = False
+        out = bytearray(current)
+        for index, (old, new) in enumerate(zip(current, target)):
+            dropping = old & ~new  # the 1 -> 0 transitions this byte needs
+            if not dropping:
+                continue
+            landed = 0
+            for bit in range(8):
+                mask = 1 << bit
+                if dropping & mask and decide():
+                    landed |= mask
+            if landed:
+                out[index] = old & ~landed
+                changed = True
+        cells[offset : offset + len(data)] = out
+        if changed and cells is self.data:
+            self.programmed = True
+        return changed
+
     def program_oob(self, data: bytes, offset: int = 0) -> None:
         """ISPP-program spare-area bytes (used for appended ECC codes)."""
         self._check_range(offset, len(data), self._oob_size, "oob")

@@ -71,6 +71,16 @@ class LatencyModel:
             self.observer("program", cell_type, kind, latency)
         return latency
 
+    def interrupted(self, full_latency_us: float, fraction: float) -> float:
+        """Time an operation consumed before a power failure cut it short.
+
+        ``fraction`` is the share of the ISPP pulse train (or erase
+        pass) that completed; the partial cost is charged to the chip
+        pipeline even though the operation never finished, so crash runs
+        keep a meaningful utilization account.
+        """
+        return full_latency_us * min(1.0, max(0.0, fraction))
+
     def erase(self, cell_type: CellType) -> float:
         """Latency of a block erase."""
         override = self.overrides.get(("erase", cell_type, None))

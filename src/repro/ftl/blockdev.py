@@ -175,6 +175,8 @@ class BlockSSD:
             )
         ]
         self.telemetry = None
+        #: Crash-injection handle; ``None`` keeps commands injection-free.
+        self.crashkit = None
         if telemetry is not None:
             telemetry.attach_device(self)
 
@@ -274,6 +276,12 @@ class BlockSSD:
         # Internal read-modify-write fallback.
         self.stats.deltas_rmw += 1
         current = self._ftl.read(lpn, now)
+        if self.crashkit is not None:
+            # Mid-absorption window: the device has read the old image
+            # but not yet written the patched copy.  The host believed
+            # it issued one atomic delta command; a crash here must look
+            # like the delta never happened.
+            self.crashkit.site("blockssd.rmw")
         image = bytearray(current.data)
         image[offset : offset + len(data)] = data
         write_io = self._ftl.write(lpn, bytes(image), now + current.latency_us)
@@ -318,6 +326,11 @@ class BlockSSD:
         self.telemetry = telemetry
         self.stats.bind(telemetry.metrics)
         self._ftl.bind_telemetry(telemetry)
+
+    def bind_crashkit(self, scheduler) -> None:
+        """Arm power-fail injection on the device and its internal FTL."""
+        self.crashkit = scheduler
+        self._ftl.bind_crashkit(scheduler)
 
     def collect_gauges(self, metrics, prefix: str = "") -> None:
         """Refresh chip-busy and wear gauges from the internal FTL."""

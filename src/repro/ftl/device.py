@@ -166,6 +166,14 @@ class FlashDevice(Protocol):
         """Wire a :class:`repro.telemetry.Telemetry` through the device."""
         ...
 
+    def bind_crashkit(self, scheduler) -> None:
+        """Wire a :class:`repro.crashkit.CrashScheduler` through the device.
+
+        Composite backends hand each child a scoped view so crash sites
+        report which controller was interrupted.
+        """
+        ...
+
     def collect_gauges(self, metrics, prefix: str = "") -> None:
         """Refresh point-in-time gauges (chip busy time, wear) in ``metrics``."""
         ...
@@ -185,34 +193,38 @@ DERIVED_SNAPSHOT_KEYS: tuple[str, ...] = (
 def merge_snapshots(snapshots: Sequence[dict]) -> dict:
     """Merge per-device ``snapshot()`` dicts into one device summary.
 
-    Raw counters are summed; ratio/mean keys are recomputed from the
-    sums so the merged view is exactly what one device with the combined
-    traffic would report.  Key parity with a single-device snapshot is
-    guaranteed by construction.
+    Raw counters are summed over the *union* of the children's keys
+    (a counter one shard never touched contributes 0); ratio/mean keys
+    are recomputed from the sums so the merged view is exactly what one
+    device with the combined traffic would report.  Key parity with the
+    richest child snapshot is guaranteed by construction.
     """
     if not snapshots:
         raise ValueError("merge_snapshots needs at least one snapshot")
+    raw_keys: list[str] = []
+    for snap in snapshots:
+        for key in snap:
+            if key not in raw_keys and key not in DERIVED_SNAPSHOT_KEYS:
+                raw_keys.append(key)
     merged = {
-        key: sum(snap[key] for snap in snapshots)
-        for key in snapshots[0]
-        if key not in DERIVED_SNAPSHOT_KEYS
+        key: sum(snap.get(key, 0) for snap in snapshots) for key in raw_keys
     }
-    host_writes = merged["host_writes"]
-    host_reads = merged["host_reads"]
+    host_writes = merged.get("host_writes", 0)
+    host_reads = merged.get("host_reads", 0)
     merged["migrations_per_host_write"] = (
-        merged["gc_page_migrations"] / host_writes if host_writes else 0.0
+        merged.get("gc_page_migrations", 0) / host_writes if host_writes else 0.0
     )
     merged["erases_per_host_write"] = (
-        merged["gc_erases"] / host_writes if host_writes else 0.0
+        merged.get("gc_erases", 0) / host_writes if host_writes else 0.0
     )
     merged["ipa_fraction"] = (
-        merged["delta_writes"] / host_writes if host_writes else 0.0
+        merged.get("delta_writes", 0) / host_writes if host_writes else 0.0
     )
     merged["mean_read_latency_us"] = (
-        merged["read_latency_us_total"] / host_reads if host_reads else 0.0
+        merged.get("read_latency_us_total", 0) / host_reads if host_reads else 0.0
     )
     merged["mean_write_latency_us"] = (
-        merged["write_latency_us_total"] / host_writes if host_writes else 0.0
+        merged.get("write_latency_us_total", 0) / host_writes if host_writes else 0.0
     )
     return merged
 

@@ -123,6 +123,31 @@ def traced(base_policy: VictimPolicy, telemetry, region: str = "") -> VictimPoli
     return policy
 
 
+def crash_window(base_policy: VictimPolicy, scheduler) -> VictimPolicy:
+    """Wrap a policy so every victim selection ticks a crash site.
+
+    Mirrors :func:`traced`, but for ``repro.crashkit``: the scheduler
+    sees a ``gc.select`` tick right after the victim is chosen and
+    before any migration work starts — the earliest point of a GC round
+    a power failure can interrupt.  The NoFTL controller's own crash
+    windows (``noftl.gc_migrate``) cover the per-page migration; this
+    wrapper lets standalone policy experiments and the BlockSSD's
+    internal GC participate in the same crash matrix.
+    """
+
+    def policy(
+        candidates: list[BlockKey],
+        mapping: PageMapping,
+        erase_counts: dict[BlockKey, int],
+    ) -> BlockKey | None:
+        victim = base_policy(candidates, mapping, erase_counts)
+        if victim is not None:
+            scheduler.site("gc.select")
+        return victim
+
+    return policy
+
+
 POLICIES: dict[str, VictimPolicy] = {
     "greedy": greedy,
     "fifo": fifo,

@@ -63,6 +63,9 @@ class NoFTL:
         #: Telemetry handle (``repro.telemetry.Telemetry``); ``None``
         #: (the default) keeps every host command free of event work.
         self.telemetry = None
+        #: Crash-injection handle (``repro.crashkit.CrashScheduler``);
+        #: ``None`` (the default) keeps every command injection-free.
+        self.crashkit = None
         if telemetry is not None:
             telemetry.attach_device(self)
         self._device_busy_until = 0.0
@@ -190,6 +193,10 @@ class NoFTL:
         address = self._allocate(region)
         op = self.flash.program(address, data)
         latency = self._execute(address, op.latency_us, now)
+        if self.crashkit is not None:
+            # The new physical copy exists but the mapping still points
+            # at the old one — a crash here must lose only the update.
+            self.crashkit.site("noftl.map_update")
         self.mapping.bind(lpn, address)
         self.stats.host_page_writes += 1
         self.stats.bytes_page_written += len(data)
@@ -273,6 +280,11 @@ class NoFTL:
         self.flash.telemetry = telemetry
         self.flash.latency.observer = telemetry.on_raw_latency
 
+    def bind_crashkit(self, scheduler) -> None:
+        """Arm power-fail injection on this controller and its flash."""
+        self.crashkit = scheduler
+        self.flash.crashkit = scheduler
+
     def collect_gauges(self, metrics, prefix: str = "") -> None:
         """Refresh chip-busy and wear gauges in ``metrics``."""
         for index, chip in enumerate(self.flash.chips):
@@ -349,6 +361,11 @@ class NoFTL:
             oob = self.flash.page_at(address).read_oob()
             if any(b != 0xFF for b in oob):
                 self.flash.program_oob(target, oob)
+            if self.crashkit is not None:
+                # Victim migration window: the copy landed but the old
+                # location is still the mapped one, so a crash loses
+                # nothing — the migration simply never happened.
+                self.crashkit.site("noftl.gc_migrate")
             self.mapping.bind(lpn, target)
             self.stats.gc_page_migrations += 1
             if tele is not None:

@@ -158,6 +158,8 @@ class ShardedDevice:
         self.regions = self._merge_regions(first)
         self.stats = ShardedStats(shards)
         self.telemetry = None
+        #: Crash-injection handle; ``None`` keeps commands injection-free.
+        self.crashkit = None
         if telemetry is not None:
             telemetry.attach_device(self)
 
@@ -298,6 +300,18 @@ class ShardedDevice:
         self.telemetry = telemetry
         for index, shard in enumerate(self.shards):
             shard.bind_telemetry(_ShardTelemetry(telemetry, index, self._stride))
+
+    def bind_crashkit(self, scheduler) -> None:
+        """Arm power-fail injection on every shard.
+
+        Each child gets a scoped view prefixing crash sites with
+        ``shard<i>/`` while sharing the parent's global operation
+        counter, so one op-count trigger deterministically spans all
+        controllers.
+        """
+        self.crashkit = scheduler
+        for index, shard in enumerate(self.shards):
+            shard.bind_crashkit(scheduler.scoped(f"shard{index}"))
 
     def collect_gauges(self, metrics, prefix: str = "") -> None:
         """Refresh each shard's gauges under its ``shard<i>_`` label."""

@@ -34,6 +34,7 @@ from typing import Iterable, Iterator, Sequence
 __all__ = [
     "Finding",
     "LintModule",
+    "PATH_EXEMPTIONS",
     "Rule",
     "Suppressions",
     "iter_python_files",
@@ -43,6 +44,26 @@ __all__ = [
 ]
 
 _SUPPRESS_RE = re.compile(r"#\s*iplint:\s*(disable|disable-file)=([A-Za-z0-9_,\s-]+)")
+
+#: Rule id -> module prefixes where that rule is waived by design.
+#:
+#: Unlike inline suppressions (which mark one surprising line), a path
+#: exemption records an *architectural* decision: the named component's
+#: purpose conflicts with the rule.  The crash harness is the example —
+#: its job is to catch anything a crash-recovery cycle throws and
+#: report it as a divergence rather than die, so its blanket handlers
+#: are the product, not an accident.
+PATH_EXEMPTIONS: dict[str, tuple[str, ...]] = {
+    "exception-discipline": ("repro.crashkit.harness",),
+}
+
+
+def _path_exempted(module: "LintModule", rule_id: str) -> bool:
+    """Whether a module is exempted from a rule by PATH_EXEMPTIONS."""
+    return any(
+        module.module == prefix or module.module.startswith(prefix + ".")
+        for prefix in PATH_EXEMPTIONS.get(rule_id, ())
+    )
 
 
 @dataclass(frozen=True, order=True)
@@ -225,6 +246,7 @@ def lint_module(module: LintModule, rules: Sequence[Rule]) -> list[Finding]:
         for rule in rules
         for finding in rule.check(module)
         if not module.suppressions.hides(finding)
+        and not _path_exempted(module, finding.rule)
     ]
     findings.sort()
     return findings

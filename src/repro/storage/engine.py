@@ -109,6 +109,11 @@ class StorageEngine:
         self._region_cursors: dict[str, int] = {
             region.name: region.lpn_start for region in device.regions
         }
+        #: Crash-injection handle (``repro.crashkit.CrashScheduler``);
+        #: ``None`` keeps transaction paths free of injection work.  The
+        #: harness sets it alongside ``device.bind_crashkit`` so the
+        #: undo path can be interrupted too.
+        self.crashkit = None
         self.checkpoints = 0
         self.foreground_read_time_us = 0.0
         self.foreground_reads = 0
@@ -271,7 +276,17 @@ class StorageEngine:
         self.maintenance()
 
     def _apply_inverse(self, record) -> None:
-        """Undo one log record, writing a compensation record."""
+        """Undo one log record, writing a compensation record (CLR).
+
+        The CLR carries ``compensates=record.lsn`` so a restart after a
+        crash mid-rollback can tell which loser records were already
+        undone and skip them (restartable undo).
+        """
+        if self.crashkit is not None:
+            # One undo step is about to run: both online aborts and
+            # recovery's undo pass funnel through here, so this one
+            # window exercises crash-during-rollback everywhere.
+            self.crashkit.site("engine.undo")
         frame = self.pin(record.lpn)
         page = frame.page
         table = self._page_table.get(record.lpn)
@@ -289,7 +304,8 @@ class StorageEngine:
                 for offset, __, old in compensation:
                     page.write_bytes(offset, old)
                 clr = self.log.append(
-                    record.txn_id, LogKind.UPDATE, record.lpn, record.slot, compensation
+                    record.txn_id, LogKind.UPDATE, record.lpn, record.slot, compensation,
+                    compensates=record.lsn,
                 )
                 if has_secondary:
                     after = table.schema.unpack(page.read_record(record.slot))
@@ -306,7 +322,7 @@ class StorageEngine:
                 page.delete_record(record.slot)
                 clr = self.log.append(
                     record.txn_id, LogKind.DELETE, record.lpn, record.slot,
-                    (offset, length),
+                    (offset, length), compensates=record.lsn,
                 )
                 if table is not None:
                     table.row_count -= 1
@@ -324,7 +340,7 @@ class StorageEngine:
                 restored = page.read_record(record.slot)
                 clr = self.log.append(
                     record.txn_id, LogKind.UPDATE, record.lpn, record.slot,
-                    ((entry_offset, old_entry, new_entry),),
+                    ((entry_offset, old_entry, new_entry),), compensates=record.lsn,
                 )
                 if table is not None:
                     table.row_count += 1
@@ -339,7 +355,7 @@ class StorageEngine:
                 page.replace_record(record.slot, old_record)
                 clr = self.log.append(
                     record.txn_id, LogKind.REPLACE, record.lpn, record.slot,
-                    (new_record, old_record),
+                    (new_record, old_record), compensates=record.lsn,
                 )
                 if has_secondary:
                     for secondary in table.secondary_indexes:

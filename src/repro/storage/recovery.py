@@ -10,7 +10,11 @@ retained write-ahead log:
   unless the page's ``PageLSN`` shows the effect already reached flash.
   Pages whose first materialization never happened are re-formatted.
 * **Undo** — losers' records are inverted newest-first through the same
-  compensation path the online abort uses.
+  compensation path the online abort uses.  Each inverse logs a
+  compensation record (CLR) carrying ``compensates=<undone LSN>``; on a
+  restart *during* undo, analysis collects the already-compensated LSNs
+  and skips them, and CLRs themselves are redo-only — so the undo pass
+  is restartable and never double-applies an inverse.
 
 IPA interacts with recovery exactly as Section 6.2 describes: a page
 whose last materialization was a delta append is simply read back (the
@@ -20,8 +24,7 @@ themselves be flushed as In-Place Appends.
 
 Scope notes (documented simplifications): the catalog (table
 definitions, page ownership) is assumed to survive, as are checkpoints'
-dirty-page tables; CLRs are regular compensation records without
-undo-next pointers, so recovery must not crash *during* undo.
+dirty-page tables.
 """
 
 from __future__ import annotations
@@ -46,6 +49,9 @@ class RecoveryReport:
     redone: int = 0
     skipped_by_lsn: int = 0
     undone: int = 0
+    #: Loser records skipped because a CLR already compensated them
+    #: (non-zero only when a previous recovery crashed mid-undo).
+    skipped_compensated: int = 0
 
 
 def recover(engine: StorageEngine) -> RecoveryReport:
@@ -66,15 +72,33 @@ def recover(engine: StorageEngine) -> RecoveryReport:
     report.winners = len(seen) - len(losers)
     report.losers = len(losers)
 
+    crashkit = engine.crashkit
     for record in records:
         if record.kind in _PAGE_KINDS:
+            if crashkit is not None:
+                crashkit.site("recovery.redo")
             if _redo(engine, record):
                 report.redone += 1
             else:
                 report.skipped_by_lsn += 1
 
     for txn_id in sorted(losers):
-        for record in reversed(losers[txn_id]):
+        loser_records = losers[txn_id]
+        # LSNs a CLR already compensated: a previous recovery (or an
+        # online abort) crashed mid-undo after rolling these back.
+        compensated = {
+            record.compensates
+            for record in loser_records
+            if record.compensates != -1
+        }
+        for record in reversed(loser_records):
+            if record.compensates != -1:
+                continue  # CLRs are redo-only; never undo an undo
+            if record.lsn in compensated:
+                report.skipped_compensated += 1
+                continue
+            if crashkit is not None:
+                crashkit.site("recovery.undo")
             engine._apply_inverse(record)
             report.undone += 1
         engine.log.append(txn_id, LogKind.ABORT)

@@ -67,6 +67,12 @@ class LogRecord:
     lpn: int = -1
     slot: int = -1
     payload: tuple = ()
+    #: For compensation log records (CLRs): the LSN of the record this
+    #: CLR undid.  ``-1`` marks an ordinary (non-compensation) record.
+    #: Recovery skips loser records whose LSN appears in some CLR's
+    #: ``compensates`` and never undoes CLRs themselves, which is what
+    #: makes the undo pass restartable after a crash mid-rollback.
+    compensates: int = -1
 
     @property
     def size(self) -> int:
@@ -119,9 +125,10 @@ class LogManager:
         lpn: int = -1,
         slot: int = -1,
         payload: tuple = (),
+        compensates: int = -1,
     ) -> LogRecord:
         """Append one record; returns it with its assigned LSN."""
-        record = LogRecord(self._next_lsn, txn_id, kind, lpn, slot, payload)
+        record = LogRecord(self._next_lsn, txn_id, kind, lpn, slot, payload, compensates)
         self._next_lsn += 1
         self.appended += 1
         self.bytes_written += record.size

@@ -18,6 +18,7 @@ from repro.analysis import (
     value_at_percentile,
 )
 from repro.ftl.stats import DeviceStats
+from repro.telemetry.metrics import Histogram
 
 
 class TestCollector:
@@ -92,6 +93,42 @@ class TestCDF:
         cdf = CDF.from_samples(samples)
         assert cdf.at(max(samples)) == pytest.approx(100.0)
         assert cdf.ys == sorted(cdf.ys)
+
+
+class TestCDFFromHistogram:
+    """Regression: all-overflow and single-bucket histograms crashed."""
+
+    def test_empty_histogram_gives_empty_cdf(self):
+        cdf = CDF.from_histogram(Histogram("h", [10.0]))
+        assert cdf.xs == [] and cdf.at(5) == 0.0
+
+    def test_all_samples_overflow_gives_empty_cdf(self):
+        hist = Histogram("h", [10.0, 20.0])
+        hist.observe(999.0)
+        hist.observe(50.0)
+        cdf = CDF.from_histogram(hist)
+        assert cdf.xs == []
+        assert cdf.at(20.0) == 0.0  # nothing is known below any bound
+
+    def test_single_bucket_all_overflow(self):
+        hist = Histogram("h", [10.0])
+        hist.observe(11.0)
+        assert CDF.from_histogram(hist).xs == []
+
+    def test_single_bucket_contained(self):
+        hist = Histogram("h", [10.0])
+        hist.observe(3.0)
+        cdf = CDF.from_histogram(hist)
+        assert cdf.xs == [10.0] and cdf.ys == [100.0]
+
+    def test_partial_overflow_folds_into_last_bound(self):
+        hist = Histogram("h", [10.0, 20.0])
+        for value in (1.0, 15.0, 99.0):
+            hist.observe(value)
+        cdf = CDF.from_histogram(hist)
+        assert cdf.xs == [10.0, 20.0]
+        assert cdf.ys[0] == pytest.approx(100.0 / 3)
+        assert cdf.ys[-1] == 100.0  # lossy fold documented in the docstring
 
 
 class TestAmplification:

@@ -223,3 +223,36 @@ def test_iter_shard_views():
     assert labels == ["shard0", "shard1"]
     plain = make_child()
     assert [label for label, __ in iter_shard_views(plain)] == [""]
+
+
+class TestMergeSnapshotsAsymmetric:
+    """Regression: shards with heterogeneous traffic used to KeyError.
+
+    A shard that never serviced a delta write (or any write at all) has
+    no ``delta_writes`` / latency keys in its snapshot; merging must sum
+    over the union of keys with missing counters contributing zero."""
+
+    def test_asymmetric_shard_traffic_merges(self):
+        device = make_device(shards=3)
+        # Only shard 0's LPNs get traffic; shard 0 alone sees a delta.
+        for _ in range(3):
+            device.write(0, image())
+        device.write_delta(0, PAGE_SIZE - TAIL, b"\x01")
+        merged = merge_snapshots(device.shard_snapshots())
+        assert merged == device.snapshot()
+        assert merged["host_writes"] == 4
+        assert merged["delta_writes"] == 1
+
+    def test_union_of_keys_with_zero_defaults(self):
+        rich = {"host_writes": 4, "delta_writes": 2, "gc_erases": 1}
+        poor = {"host_writes": 1}
+        merged = merge_snapshots([poor, rich])
+        assert merged["delta_writes"] == 2
+        assert merged["gc_erases"] == 1
+        assert merged["host_writes"] == 5
+        assert merged["ipa_fraction"] == pytest.approx(2 / 5)
+
+    def test_idle_shard_contributes_nothing(self):
+        merged = merge_snapshots([{}, {"host_writes": 2, "gc_erases": 4}])
+        assert merged["host_writes"] == 2
+        assert merged["erases_per_host_write"] == pytest.approx(2.0)

@@ -208,3 +208,29 @@ def test_src_repro_is_iplint_clean():
     """
     findings = run_lint([REPRO_SRC])
     assert findings == [], "\n".join(str(f) for f in findings)
+
+
+# ----------------------------------------------------------------------
+# Path exemptions
+# ----------------------------------------------------------------------
+
+class TestPathExemptions:
+    def test_exempted_module_rule_is_filtered(self, tmp_path, monkeypatch):
+        from repro.lintkit import engine
+
+        monkeypatch.setitem(engine.PATH_EXEMPTIONS, "determinism", ("mod",))
+        path = tmp_path / "mod.py"
+        path.write_text(BROKEN_SOURCE)
+        assert [f.rule for f in run_lint([path])] == ["ispp-safety"]
+
+    def test_exemption_is_rule_specific(self, tmp_path, monkeypatch):
+        from repro.lintkit import engine
+
+        monkeypatch.setitem(engine.PATH_EXEMPTIONS, "ispp-safety", ("other",))
+        path = tmp_path / "mod.py"
+        path.write_text(BROKEN_SOURCE)
+        assert len(run_lint([path])) == 2
+
+    def test_crash_harness_blanket_handlers_are_exempt(self):
+        findings = run_lint([REPRO_SRC / "crashkit" / "harness.py"])
+        assert [f for f in findings if f.rule == "exception-discipline"] == []
