@@ -17,6 +17,7 @@ evaluation.  They share:
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
@@ -201,9 +202,18 @@ from repro.core import DecisionCounts, scheme_decisions  # noqa: E402,F401
 # ----------------------------------------------------------------------
 
 
-def publish(name: str, text: str) -> None:
-    """Print a rendered table and persist it under benchmarks/results/."""
+def publish(name: str, text: str, data=None) -> None:
+    """Print a rendered table and persist it under benchmarks/results/.
+
+    ``data`` (any JSON-serializable object) additionally writes a
+    machine-readable ``{name}.json`` sidecar next to the ``.txt`` —
+    trajectory tracking across commits without screen-scraping the
+    rendered tables.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if data is not None:
+        payload = json.dumps(data, indent=2, sort_keys=True)
+        (RESULTS_DIR / f"{name}.json").write_text(payload + "\n")
     print()
     print(text)

@@ -1,0 +1,66 @@
+"""Host queue-depth sweep — throughput vs tail latency on sharded NoFTL.
+
+The paper's evaluation runs one operation at a time; ``repro.hostq``
+adds the host dimension: N closed-loop clients over an NCQ-style
+submission queue.  This benchmark reproduces the canonical NCQ curve on
+the sharded backend (4 controllers x 4 chips = 16 independent dies):
+
+* throughput grows with queue depth — deeper queues expose more
+  die-level parallelism to the dispatcher;
+* the marginal gain shrinks as die utilization saturates;
+* once saturated, extra depth only buys queueing: p99 latency rises.
+
+End-to-end latency includes blocked-admission wait (requests keep their
+original arrival time), so shallow queues show *high* p50/p99 — the
+latency falls as depth relieves backpressure, then climbs again when
+the dies run out.  Both inflections are asserted.
+"""
+
+import pytest
+
+from _shared import FAST, publish
+from repro.hostq import LoadTestConfig, format_sweep, sweep_queue_depth
+
+DEPTHS = [1, 2, 4, 8, 16, 32]
+CONFIG = LoadTestConfig(
+    backend="sharded",
+    shards=4,
+    clients=32,
+    arrival="closed",
+    seed=7,
+    requests=400 if FAST else 800,
+    profile="uniform",
+    logical_pages=256,
+)
+
+
+@pytest.mark.figure
+def test_loadtest_queue_depth_sweep(benchmark):
+    results = benchmark.pedantic(
+        lambda: sweep_queue_depth(CONFIG, DEPTHS), rounds=1, iterations=1
+    )
+
+    publish(
+        "loadtest_queue_depth",
+        format_sweep(results),
+        data=[result.to_dict() for result in results],
+    )
+
+    tput = [result.throughput_rps for result in results]
+    util = [result.die_utilization for result in results]
+    p99 = [result.percentiles["p99"] for result in results]
+
+    # Deeper queues expose more die parallelism: throughput and die
+    # utilization grow monotonically across the sweep.
+    for shallow, deep in zip(tput, tput[1:]):
+        assert deep > shallow, tput
+    for shallow, deep in zip(util, util[1:]):
+        assert deep > shallow, util
+
+    # Far from saturation a depth doubling nearly doubles throughput...
+    assert tput[1] > 1.5 * tput[0], tput
+    # ...but the last doubling buys under 35%: utilization has saturated.
+    assert tput[-1] < 1.35 * tput[-2], tput
+
+    # Past the knee, extra depth only adds queueing: p99 rises.
+    assert p99[-1] > p99[-2] > p99[-3], p99

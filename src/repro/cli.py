@@ -10,6 +10,8 @@ Usage (also via ``python -m repro``)::
     python -m repro trace --workload tpcb --out run.jsonl
     python -m repro metrics --workload tpcb --format prom
     python -m repro crashtest --backend sharded --shards 4
+    python -m repro loadtest --backend sharded --clients 16 --queue-depth 8
+    python -m repro loadtest --backend sharded --sweep 1,2,4,8,16
 
 ``run`` executes one configuration and prints the counters the paper's
 tables report; ``compare`` runs the same workload with and without IPA
@@ -20,7 +22,10 @@ baseline.  The telemetry commands observe a run through the
 :mod:`repro.telemetry` subsystem: ``trace`` streams every cross-layer
 event to a JSONL file (and verifies the stream aggregates back to the
 run's counters), ``metrics`` dumps the metrics registry in Prometheus
-text format or CSV.  ``lint`` runs ``iplint``, the domain-invariant
+text format or CSV.  ``loadtest`` drives a backend with N concurrent
+clients through the :mod:`repro.hostq` scheduler and reports throughput
+plus end-to-end latency percentiles (``--sweep`` reruns across queue
+depths).  ``lint`` runs ``iplint``, the domain-invariant
 static analyzer (:mod:`repro.lintkit`), over the source tree::
 
     python -m repro lint                      # lint the installed package
@@ -310,6 +315,41 @@ def cmd_crashtest(args) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_loadtest(args) -> int:
+    """``repro loadtest``: concurrent-client load against one backend.
+
+    Deterministic for a fixed seed and flag set — the printed report is
+    byte-identical across runs, which the CI smoke job asserts.
+    """
+    from .hostq import LoadTestConfig, format_sweep, run_loadtest, sweep_queue_depth
+
+    config = LoadTestConfig(
+        backend=args.backend,
+        clients=args.clients,
+        queue_depth=args.queue_depth,
+        arrival=args.arrival,
+        seed=args.seed,
+        requests=args.requests,
+        profile=args.profile,
+        logical_pages=args.pages,
+        shards=args.shards,
+        think_us=args.think_us,
+        rate_rps=args.rate,
+        admission=args.admission,
+        group_commit=args.group_commit,
+    )
+    if args.sweep:
+        try:
+            depths = [int(part) for part in args.sweep.split(",") if part]
+        except ValueError:
+            print(f"bad --sweep list {args.sweep!r}; use e.g. 1,2,4,8", file=sys.stderr)
+            return 1
+        print(format_sweep(sweep_queue_depth(config, depths)))
+        return 0
+    print(run_loadtest(config).report())
+    return 0
+
+
 def cmd_lint(args) -> int:
     """``repro lint``: run the iplint invariant rules over source paths.
 
@@ -433,6 +473,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fraction", type=float, default=0.5,
                    help="per-pulse completion chance of torn operations")
     p.set_defaults(func=cmd_crashtest)
+
+    p = sub.add_parser("loadtest", help="concurrent-client load test (hostq)")
+    p.add_argument("--backend", choices=BACKENDS, default="noftl",
+                   help="storage backend under load")
+    p.add_argument("--shards", type=int, default=4,
+                   help="controller count for the sharded backend")
+    p.add_argument("--clients", type=int, default=8,
+                   help="concurrent client sessions")
+    p.add_argument("--queue-depth", type=int, default=8,
+                   help="NCQ depth: pending + in-flight bound")
+    p.add_argument("--arrival", choices=("closed", "open"), default="closed",
+                   help="closed loop (think time) or open loop (Poisson)")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--requests", type=int, default=2000,
+                   help="total operations to generate")
+    p.add_argument("--profile", choices=("uniform", "tpcb", "tpcc", "tatp",
+                                         "linkbench"),
+                   default="uniform", help="per-client operation mix")
+    p.add_argument("--pages", type=int, default=512,
+                   help="logical pages in the device (all prefilled)")
+    p.add_argument("--think-us", type=float, default=0.0,
+                   help="closed-loop mean think time [us]")
+    p.add_argument("--rate", type=float, default=20000.0,
+                   help="open-loop arrival rate [req/s]")
+    p.add_argument("--admission", choices=("block", "reject"), default="block",
+                   help="backpressure policy when the queue is full")
+    p.add_argument("--group-commit", type=int, default=8,
+                   help="max commits batched per WAL force")
+    p.add_argument("--sweep", default="",
+                   help="comma-separated queue depths: print the sweep table")
+    p.set_defaults(func=cmd_loadtest)
 
     p = sub.add_parser("lint", help="run the iplint invariant linter")
     p.add_argument("paths", nargs="*",

@@ -109,6 +109,15 @@ class FlashMemory:
         """Whether the page may receive ISPP appends (LSB pages only)."""
         return self.page_kind(address) is PageKind.LSB
 
+    def occupancy(self) -> tuple[float, ...]:
+        """Per-chip pipeline ``busy_until`` times, in chip order.
+
+        The host-side scheduler (:mod:`repro.hostq`) reads this to find
+        idle dies before dispatching: a chip whose entry is at or below
+        the current simulated time can start a command immediately.
+        """
+        return tuple(chip.busy_until for chip in self.chips)
+
     # ------------------------------------------------------------------
     # Commands
     # ------------------------------------------------------------------

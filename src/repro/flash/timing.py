@@ -11,6 +11,7 @@ NAND timings.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from .constants import (
@@ -36,9 +37,10 @@ class LatencyModel:
     transfer_us_per_kib: float = TRANSFER_US_PER_KIB
     overrides: dict = field(default_factory=dict)
     #: Optional telemetry probe ``(op, cell_type, kind, latency_us)``
-    #: invoked for every computed latency; ``None`` (the default) keeps
-    #: the model observation-free with zero overhead beyond one check.
-    observer: object = None
+    #: invoked for every computed latency; ``kind`` is ``None`` for
+    #: erases (no page granularity).  ``None`` (the default) keeps the
+    #: model observation-free with zero overhead beyond one check.
+    observer: Callable[[str, CellType, PageKind | None, float], None] | None = None
 
     def _lookup(self, op: str, cell_type: CellType, kind: PageKind, table: dict) -> float:
         override = self.overrides.get((op, cell_type, kind))

@@ -303,6 +303,29 @@ class BlockSSD:
         self._ftl.trim(lpn)
 
     # ------------------------------------------------------------------
+    # Dispatch hooks (host-side scheduling)
+    # ------------------------------------------------------------------
+
+    def occupancy(self) -> tuple[float, ...]:
+        """Per-channel busy times of the internal FTL's chips.
+
+        A real black-box SSD exposes this only as queue-full
+        backpressure; publishing the chip clocks keeps the scheduling
+        experiments comparable across backends.
+        """
+        return self._ftl.occupancy()
+
+    def channel_of(self, lpn: int, op: str = "read") -> int | None:
+        """Advisory channel hint from the internal FTL.
+
+        Note the black-box caveat: a delta the device absorbs as an
+        internal read-modify-write touches a second (write) channel the
+        hint does not predict.
+        """
+        self._check_lba(lpn)
+        return self._ftl.channel_of(lpn, op)
+
+    # ------------------------------------------------------------------
     # Stats / telemetry
     # ------------------------------------------------------------------
 

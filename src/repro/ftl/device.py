@@ -152,6 +152,31 @@ class FlashDevice(Protocol):
         """Deallocate a logical page; its flash cells become garbage."""
         ...
 
+    # -- dispatch hooks (host-side scheduling) ---------------------------
+
+    def occupancy(self) -> tuple[float, ...]:
+        """Per-channel ``busy_until`` times, one entry per independent die.
+
+        A channel whose entry is at or below the host's simulated clock
+        can start a command immediately; entries in the future tell the
+        scheduler when the die frees up.  Serialized devices (OpenSSD,
+        no NCQ) report a single channel.
+        """
+        ...
+
+    def channel_of(self, lpn: int, op: str = "read") -> int | None:
+        """Best-effort channel hint: which die would serve this command.
+
+        ``op`` is ``"read"``, ``"write"`` or ``"delta"``.  Reads and
+        deltas target the page's current home; writes report where the
+        allocator would most likely place the next page.  ``None`` means
+        the device cannot predict (e.g. the page is unmapped) — the
+        scheduler then treats the request as dispatchable on any free
+        channel.  The hint is advisory: dispatching against a busy die
+        is still correct, the command just queues behind it.
+        """
+        ...
+
     # -- stats / telemetry ----------------------------------------------
 
     def snapshot(self) -> dict:

@@ -262,6 +262,39 @@ class NoFTL:
         self.mapping.unbind(lpn)
 
     # ------------------------------------------------------------------
+    # Dispatch hooks (host-side scheduling)
+    # ------------------------------------------------------------------
+
+    def occupancy(self) -> tuple[float, ...]:
+        """Per-channel ``busy_until`` times for the host scheduler.
+
+        One channel per chip under NCQ; the serialized (OpenSSD) device
+        executes one host command at a time device-wide, so it reports a
+        single channel covering every chip.
+        """
+        chips = self.flash.occupancy()
+        if self.serialize_io:
+            return (max(self._device_busy_until, *chips),)
+        return chips
+
+    def channel_of(self, lpn: int, op: str = "read") -> int | None:
+        """Which chip would serve this command (advisory, see protocol).
+
+        Reads and deltas go to the page's current physical home; a write
+        goes wherever the region allocator's round-robin cursor points
+        next.  The write hint can be wrong when GC intervenes — that
+        only costs queueing time, never correctness.
+        """
+        if self.serialize_io:
+            return 0
+        if op == "write":
+            region = self.region_of(lpn)
+            return region.peek_chip()
+        if lpn not in self.mapping:
+            return None
+        return self.mapping.lookup(lpn).chip
+
+    # ------------------------------------------------------------------
     # Stats / telemetry (the FlashDevice reporting surface)
     # ------------------------------------------------------------------
 

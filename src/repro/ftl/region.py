@@ -146,6 +146,23 @@ class Region:
                 return address
         raise OutOfSpaceError(f"region {self.name!r} has no erased pages left")
 
+    def peek_chip(self) -> int | None:
+        """The chip the next :meth:`allocate` call would target.
+
+        A read-only round-robin probe for the host scheduler's write
+        channel hint: it inspects the cursor without consuming pages or
+        advancing it.  ``None`` when the region has no erased page left
+        (the controller would GC first, possibly on any chip).
+        """
+        for step in range(len(self._chips)):
+            chip = self._chips[(self._chip_cursor + step) % len(self._chips)]
+            active = self._active.get(chip)
+            if active is not None and self._cursor_address(*active) is not None:
+                return chip
+            if any(key[0] == chip for key in self.free_blocks):
+                return chip
+        return None
+
     def _allocate_on_chip(self, chip: int) -> PhysicalAddress | None:
         active = self._active.get(chip)
         if active is not None:

@@ -279,6 +279,34 @@ class ShardedDevice:
         child.trim(local)
 
     # ------------------------------------------------------------------
+    # Dispatch hooks (host-side scheduling)
+    # ------------------------------------------------------------------
+
+    def occupancy(self) -> tuple[float, ...]:
+        """Concatenated per-shard channel busy times, in shard order.
+
+        Shard ``i``'s channels occupy the slice starting at the ``i``-th
+        channel offset; :meth:`channel_of` returns indices in the same
+        global numbering, so the scheduler sees one flat channel space
+        spanning every controller.
+        """
+        merged: list[float] = []
+        for shard in self.shards:
+            merged.extend(shard.occupancy())
+        return tuple(merged)
+
+    def channel_of(self, lpn: int, op: str = "read") -> int | None:
+        """Global channel hint: the owning shard's hint plus its offset."""
+        shard, local = self.shard_of(lpn)
+        hint = self.shards[shard].channel_of(local, op)
+        if hint is None:
+            return None
+        offset = 0
+        for child in self.shards[:shard]:
+            offset += len(child.occupancy())
+        return offset + hint
+
+    # ------------------------------------------------------------------
     # Stats / telemetry
     # ------------------------------------------------------------------
 

@@ -50,6 +50,9 @@ class EngineConfig:
     log_capacity_bytes: int = 16 * 1024 * 1024
     cpu_cost_us: float = 5.0
     log_force_latency_us: float = 50.0
+    #: Commits amortized per physical log force (1 = force every commit;
+    #: N models group commit — the load-test harness drives this).
+    group_commit: int = 1
     retain_log: bool = False
     ecc: bool = False
     #: Stamp an InnoDB-style page checksum on every flush (MySQL
@@ -102,6 +105,7 @@ class StorageEngine:
             capacity_bytes=self.config.log_capacity_bytes,
             retain=self.config.retain_log,
             force_latency_us=self.config.log_force_latency_us,
+            group_commit=self.config.group_commit,
         )
         self.txns = TransactionManager()
         self.tables: dict[str, Table] = {}
@@ -383,6 +387,9 @@ class StorageEngine:
     def checkpoint(self) -> int:
         """Flush every dirty page and reclaim log space."""
         flushed = self.pool.flush_all(self.clock)
+        # A checkpoint is a durability barrier: commits still buffered in
+        # an open commit group must hit the log before it is reclaimed.
+        self.clock += self.log.flush_group()
         self.log.note_checkpoint()
         self.checkpoints += 1
         return flushed

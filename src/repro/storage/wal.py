@@ -99,16 +99,27 @@ class LogManager:
         capacity_bytes: int = 64 * 1024 * 1024,
         retain: bool = False,
         force_latency_us: float = 50.0,
+        group_commit: int = 1,
     ) -> None:
+        if group_commit < 1:
+            raise ValueError(f"group_commit must be >= 1, got {group_commit}")
         self.capacity_bytes = capacity_bytes
         self.retain = retain
         self.force_latency_us = force_latency_us
+        #: Commits amortized per physical log force.  1 (the default)
+        #: is the classic force-on-every-commit discipline; N > 1 models
+        #: group commit: commits buffer until the group fills, then one
+        #: force covers all N — see :meth:`force` / :meth:`flush_group`.
+        self.group_commit = group_commit
         self.records: list[LogRecord] = []
         self._next_lsn = 1
         self.bytes_written = 0
         self.bytes_since_checkpoint = 0
         self.forces = 0
         self.appended = 0
+        #: Commits absorbed into an in-progress group (paid no latency).
+        self.commits_grouped = 0
+        self._group_pending = 0
 
     @property
     def next_lsn(self) -> int:
@@ -138,7 +149,30 @@ class LogManager:
         return record
 
     def force(self) -> float:
-        """Flush the log tail (commit path); returns the force latency."""
+        """Flush the log tail (commit path); returns the charged latency.
+
+        Under group commit the first ``group_commit - 1`` commits of a
+        group buffer their records and return 0; the commit that fills
+        the group forces once for everyone — one physical force per
+        ``group_commit`` commits, the standard amortization.
+        """
+        self._group_pending += 1
+        if self._group_pending < self.group_commit:
+            self.commits_grouped += 1
+            return 0.0
+        self._group_pending = 0
+        self.forces += 1
+        return self.force_latency_us
+
+    def flush_group(self) -> float:
+        """Close a partially-filled commit group (shutdown/barrier path).
+
+        Returns the force latency when buffered group-commit records
+        were still awaiting their group's force, else 0.0.
+        """
+        if self._group_pending == 0:
+            return 0.0
+        self._group_pending = 0
         self.forces += 1
         return self.force_latency_us
 

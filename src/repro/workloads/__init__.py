@@ -9,6 +9,7 @@ traces for the IPL-vs-IPA replay experiments.
 from .base import Driver, RunResult, Workload
 from .linkbench import LinkBench, LinkBenchConfig
 from .rand import Zipf, nurand
+from .sessions import PROFILES, ClientSession, SessionProfile
 from .tatp import TATP, TATPConfig
 from .tpcb import TPCB, TPCBConfig
 from .tpcc import TPCC, TPCCConfig
@@ -18,6 +19,9 @@ __all__ = [
     "Driver",
     "RunResult",
     "Workload",
+    "ClientSession",
+    "SessionProfile",
+    "PROFILES",
     "LinkBench",
     "LinkBenchConfig",
     "Zipf",

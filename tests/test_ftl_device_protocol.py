@@ -160,6 +160,68 @@ class TestHostCommands:
             device.write(device.logical_pages, image())
 
 
+class TestDispatchHooks:
+    """The host-scheduler hooks: ``occupancy()`` and ``channel_of()``."""
+
+    def test_occupancy_shape(self, device):
+        occupancy = device.occupancy()
+        assert isinstance(occupancy, tuple)
+        assert len(occupancy) >= 1
+        assert all(isinstance(busy, float) for busy in occupancy)
+
+    def test_channel_hint_in_range(self, device):
+        device.write(4, image())
+        channels = len(device.occupancy())
+        for op in ("read", "delta", "write"):
+            hint = device.channel_of(4, op)
+            assert hint is None or 0 <= hint < channels
+
+    def test_unmapped_read_hint_is_none(self, device):
+        assert device.channel_of(11, "read") is None
+
+    def test_command_advances_hinted_channel(self, device):
+        """The read hint points at the die the command actually runs on:
+        issuing the read advances exactly that occupancy entry to the
+        command's completion time."""
+        device.write(6, image())
+        channel = device.channel_of(6, "read")
+        assert channel is not None
+        start = max(device.occupancy()) + 1000.0
+        io = device.read(6, start)
+        assert device.occupancy()[channel] == pytest.approx(start + io.latency_us)
+
+    def test_write_hint_predicts_allocation(self, device):
+        """A write hint, when given, names the chip the very next write
+        lands on (no competing traffic in between)."""
+        device.write(8, image())
+        hint = device.channel_of(8, "write")
+        if hint is None:
+            pytest.skip("backend gives no write hint here")
+        before = device.occupancy()
+        io = device.write(8, image(0x33), max(before) + 500.0)
+        after = device.occupancy()
+        changed = [i for i, (b, a) in enumerate(zip(before, after)) if a != b]
+        assert changed == [hint]
+        assert io.latency_us > 0
+
+
+def test_serialized_device_reports_one_channel():
+    """OpenSSD-style serialized I/O is device-wide: one channel, always
+    channel 0, regardless of the chip count underneath."""
+    device = single_region_device(
+        FlashMemory(_geometry()),
+        logical_pages=LOGICAL_PAGES,
+        ipa_mode=IPAMode.NATIVE,
+        serialize_io=True,
+    )
+    assert len(device.occupancy()) == 1
+    device.write(0, image())
+    assert device.channel_of(0, "read") == 0
+    assert device.channel_of(0, "write") == 0
+    io = device.read(0, 10_000.0)
+    assert device.occupancy()[0] == pytest.approx(10_000.0 + io.latency_us)
+
+
 class TestReporting:
     def test_snapshot_counts_traffic(self, device):
         device.write(0, image())

@@ -1,0 +1,76 @@
+"""GroupCommitGate: leader election, batching, force chaining."""
+
+import pytest
+
+from repro.hostq import GroupCommitGate, OpKind, Request
+
+
+def commit(seq):
+    return Request(seq=seq, client=0, kind=OpKind.COMMIT)
+
+
+def test_first_commit_leads_and_pays_the_force():
+    gate = GroupCommitGate(force_latency_us=50.0, max_group=4)
+    leader = commit(1)
+    assert gate.submit(leader, 100.0) == 150.0
+    assert gate.force_in_flight
+    done, next_at = gate.force_done(150.0)
+    assert done == [leader]
+    assert leader.completed_us == 150.0
+    assert next_at is None
+    assert gate.stats.forces == 1
+
+
+def test_joiners_batch_into_the_next_force():
+    gate = GroupCommitGate(force_latency_us=50.0, max_group=4)
+    leader = commit(1)
+    gate.submit(leader, 0.0)
+    joiners = [commit(seq) for seq in (2, 3, 4)]
+    for joiner in joiners:
+        # A force is running: joiners schedule nothing themselves.
+        assert gate.submit(joiner, 10.0) is None
+    done, next_at = gate.force_done(50.0)
+    assert done == [leader]
+    # The next force starts immediately and carries all three joiners.
+    assert next_at == 100.0
+    done, next_at = gate.force_done(100.0)
+    assert [request.seq for request in done] == [2, 3, 4]
+    assert next_at is None
+    assert gate.stats.forces == 2
+    assert gate.stats.max_batch == 3
+    assert gate.stats.commits_per_force == 2.0
+
+
+def test_max_group_caps_one_force():
+    gate = GroupCommitGate(force_latency_us=10.0, max_group=2)
+    gate.submit(commit(1), 0.0)
+    for seq in (2, 3, 4, 5):
+        gate.submit(commit(seq), 0.0)
+    gate.force_done(10.0)                      # retires the leader
+    done, next_at = gate.force_done(20.0)      # first capped batch
+    assert len(done) == 2
+    assert next_at == 30.0
+    done, next_at = gate.force_done(30.0)      # remaining two
+    assert len(done) == 2
+    assert next_at is None
+    assert gate.stats.max_batch == 2
+
+
+def test_force_done_without_force_raises():
+    gate = GroupCommitGate()
+    with pytest.raises(RuntimeError):
+        gate.force_done(0.0)
+
+
+def test_outstanding_tracks_queue_and_batch():
+    gate = GroupCommitGate(max_group=8)
+    gate.submit(commit(1), 0.0)
+    gate.submit(commit(2), 0.0)
+    assert gate.outstanding == 2
+    gate.force_done(50.0)
+    assert gate.outstanding == 1
+
+
+def test_bad_max_group_raises():
+    with pytest.raises(ValueError):
+        GroupCommitGate(max_group=0)

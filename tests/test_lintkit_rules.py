@@ -304,6 +304,15 @@ class TestCounterNaming:
     def test_convention_names_clean(self):
         assert lint_snippet(NAMING_PASS, CounterNamingRule()) == []
 
+    def test_hostq_layer_registered(self):
+        """The host-queueing subsystem's counters pass the naming rule."""
+        snippet = """
+    def instrument(metrics):
+        metrics.counter("hostq_requests_total", help="requests")
+        metrics.histogram("hostq_request_latency_us", (1, 2))
+"""
+        assert lint_snippet(snippet, CounterNamingRule()) == []
+
     def test_bad_charset_flagged(self):
         findings = lint_snippet(
             'def f(m):\n    m.gauge("device_Bad-Name")\n', CounterNamingRule()

@@ -40,7 +40,14 @@ SURFACE = {
     "repro.workloads": [
         "TPCB", "TPCC", "TATP", "LinkBench", "Driver", "RunResult",
         "TraceRecorder", "TraceEvent", "save_trace", "load_trace",
-        "Zipf", "nurand",
+        "Zipf", "nurand", "SessionProfile", "ClientSession", "PROFILES",
+    ],
+    "repro.hostq": [
+        "HostScheduler", "SubmissionQueue", "GroupCommitGate",
+        "Request", "OpKind", "AdmissionPolicy", "QueueStats",
+        "ClosedLoopClient", "OpenLoopArrivals", "build_sessions",
+        "LoadTestConfig", "LoadTestResult", "run_loadtest",
+        "sweep_queue_depth", "format_sweep",
     ],
     "repro.analysis": [
         "UpdateSizeCollector", "PerObjectCollector", "CDF",

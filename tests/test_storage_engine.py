@@ -347,6 +347,51 @@ class TestRecovery:
         assert table.read(table.lookup(1))[1] == 42
 
 
+class TestGroupCommitEngine:
+    def _run(self, group_commit, txns=30):
+        geometry = FlashGeometry(
+            chips=2, blocks_per_chip=32, pages_per_block=16,
+            page_size=1024, oob_size=64,
+        )
+        device = single_region_device(
+            FlashMemory(geometry), logical_pages=128, ipa_mode=IPAMode.NATIVE
+        )
+        engine = StorageEngine(
+            device, EngineConfig(buffer_pages=16, group_commit=group_commit)
+        )
+        table = populated(engine, rows=20)
+        for k in range(txns):
+            txn = engine.begin()
+            table.update(txn, table.lookup(k % 20), {"balance": k})
+            engine.commit(txn)
+        return engine, table
+
+    def test_grouping_amortizes_forces(self):
+        solo, __ = self._run(group_commit=1)
+        grouped, __ = self._run(group_commit=4)
+        assert grouped.log.forces < solo.log.forces
+        assert grouped.log.commits_grouped > 0
+
+    def test_grouping_preserves_committed_data(self):
+        __, solo_table = self._run(group_commit=1)
+        __, grouped_table = self._run(group_commit=4)
+        for key in range(20):
+            assert (
+                solo_table.read(solo_table.lookup(key))
+                == grouped_table.read(grouped_table.lookup(key))
+            )
+
+    def test_checkpoint_closes_open_group(self):
+        engine, __ = self._run(group_commit=100, txns=5)
+        # Five commits buffered, none forced yet.
+        forces_before = engine.log.forces
+        engine.checkpoint()
+        assert engine.log.forces == forces_before + 1
+        # The barrier emptied the group: another checkpoint adds nothing.
+        engine.checkpoint()
+        assert engine.log.forces == forces_before + 1
+
+
 class TestEvictionStrategies:
     def test_eager_config(self):
         config = EngineConfig(eviction="eager")

@@ -67,6 +67,37 @@ class TestLogManager:
         assert log.space_consumed_fraction() == 0.0
 
 
+class TestGroupCommit:
+    def test_default_forces_every_commit(self):
+        log = LogManager(force_latency_us=42.0)
+        assert log.force() == 42.0
+        assert log.force() == 42.0
+        assert log.forces == 2
+        assert log.commits_grouped == 0
+
+    def test_group_of_n_pays_one_force(self):
+        log = LogManager(force_latency_us=42.0, group_commit=3)
+        assert log.force() == 0.0
+        assert log.force() == 0.0
+        assert log.force() == 42.0  # the third commit pays for all three
+        assert log.forces == 1
+        assert log.commits_grouped == 2
+
+    def test_flush_group_closes_partial_batches(self):
+        log = LogManager(force_latency_us=42.0, group_commit=4)
+        assert log.force() == 0.0
+        # A checkpoint barrier must not leave unforced commits behind.
+        assert log.flush_group() == 42.0
+        assert log.forces == 1
+        # Nothing pending: the barrier is free.
+        assert log.flush_group() == 0.0
+        assert log.forces == 1
+
+    def test_invalid_group_size_rejected(self):
+        with pytest.raises(ValueError):
+            LogManager(group_commit=0)
+
+
 class TestTransactionManager:
     def test_lifecycle(self):
         manager = TransactionManager()

@@ -1,0 +1,91 @@
+"""ClientSession streams: determinism, mix, skew, commit cadence."""
+
+import pytest
+
+from repro.workloads import PROFILES, ClientSession, SessionProfile
+
+
+def stream(session, count):
+    return [session.next_op() for _ in range(count)]
+
+
+def test_profiles_cover_the_benchmark_workloads():
+    assert set(PROFILES) == {"uniform", "tpcb", "tpcc", "tatp", "linkbench"}
+    for name, profile in PROFILES.items():
+        assert profile.name == name
+        assert 0.0 <= profile.read_fraction <= 1.0
+        assert profile.delta_bytes > 0
+
+
+def test_same_seed_same_stream():
+    profile = PROFILES["tpcb"]
+    a = stream(ClientSession(profile, 128, seed=7, client=3), 200)
+    b = stream(ClientSession(profile, 128, seed=7, client=3), 200)
+    assert a == b
+
+
+def test_clients_get_independent_streams():
+    profile = PROFILES["tpcb"]
+    a = stream(ClientSession(profile, 128, seed=7, client=0), 200)
+    b = stream(ClientSession(profile, 128, seed=7, client=1), 200)
+    assert a != b
+
+
+def test_commit_cadence_follows_ops_per_txn():
+    profile = PROFILES["tatp"]  # ops_per_txn=2
+    ops = stream(ClientSession(profile, 64), 300)
+    kinds = [kind for kind, __, __ in ops]
+    for index, kind in enumerate(kinds):
+        if kind == "commit":
+            assert kinds[index - 1] != "commit"
+    assert kinds.count("commit") == pytest.approx(100, abs=2)
+
+
+def test_commitless_profile_never_commits():
+    ops = stream(ClientSession(PROFILES["uniform"], 64), 300)
+    assert all(kind != "commit" for kind, __, __ in ops)
+
+
+def test_op_shapes():
+    ops = stream(ClientSession(PROFILES["tpcc"], 64), 400)
+    for kind, lpn, length in ops:
+        if kind == "commit":
+            assert (lpn, length) == (-1, 0)
+        else:
+            assert 0 <= lpn < 64
+            if kind == "delta":
+                assert length == PROFILES["tpcc"].delta_bytes
+            else:
+                assert length == 0
+
+
+def test_hot_set_absorbs_most_accesses():
+    profile = PROFILES["tpcb"]  # 10% hot pages, 90% of accesses
+    session = ClientSession(profile, 1000, seed=3)
+    hot = session._hot_pages
+    lpns = [lpn for kind, lpn, __ in stream(session, 2000) if kind != "commit"]
+    hot_share = sum(1 for lpn in lpns if lpn < hot) / len(lpns)
+    assert hot_share > 0.85
+    # Cold pages are still reachable.
+    assert any(lpn >= hot for lpn in lpns)
+
+
+def test_read_fraction_is_respected():
+    session = ClientSession(PROFILES["tatp"], 128, seed=5)  # 80% reads
+    kinds = [kind for kind, __, __ in stream(session, 3000) if kind != "commit"]
+    reads = kinds.count("read") / len(kinds)
+    assert 0.75 < reads < 0.85
+
+
+def test_zero_pages_rejected():
+    with pytest.raises(ValueError):
+        ClientSession(PROFILES["uniform"], 0)
+
+
+def test_custom_profile_is_usable():
+    profile = SessionProfile(
+        "custom", read_fraction=0.0, delta_fraction=1.0, delta_bytes=4,
+        hot_fraction=1.0, hot_access_fraction=1.0,
+    )
+    ops = stream(ClientSession(profile, 16), 50)
+    assert all(kind == "delta" for kind, __, __ in ops)
