@@ -1,0 +1,93 @@
+"""Transaction-level load test — throughput and tail latency vs clients.
+
+The device-level sweep (test_loadtest_queue_depth) measures raw page
+operations; this benchmark runs *whole transactions* — buffer pool,
+WAL, group commit — through the same scheduler on the sharded backend
+and sweeps the client count:
+
+* concurrency pays: more closed-loop clients commit more transactions
+  per simulated second, while conflict waits and queueing push p99 up;
+* the IPA scheme matters at the transaction level too: with [2x4] the
+  tpcb-profile deltas flush as in-place appends, with the scheme off
+  every eviction is a full out-of-place page program.
+
+Results publish as text plus a JSON sidecar that make_experiments.py
+merges into experiments.json for trajectory tracking.
+"""
+
+import pytest
+
+from _shared import FAST, publish
+from repro.analysis import format_table
+from repro.core.scheme import NxMScheme, SCHEME_OFF
+from repro.hostq import TxnLoadTestConfig, run_txn_loadtest
+
+CLIENTS = [1, 4] if FAST else [1, 2, 4, 8, 16]
+TXNS = 120 if FAST else 400
+SCHEME = NxMScheme(2, 4)
+
+
+def config(clients, scheme):
+    return TxnLoadTestConfig(
+        backend="sharded",
+        shards=4,
+        clients=clients,
+        queue_depth=8,
+        seed=7,
+        txns=TXNS,
+        profile="tpcb",
+        logical_pages=256,
+        scheme=scheme,
+        buffer_fraction=0.2,
+    )
+
+
+@pytest.mark.figure
+def test_txn_loadtest_clients_sweep(benchmark):
+    def sweep():
+        runs = [run_txn_loadtest(config(n, SCHEME)) for n in CLIENTS]
+        baseline = run_txn_loadtest(config(CLIENTS[-1], SCHEME_OFF))
+        return runs, baseline
+
+    runs, baseline = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [
+            result.config.clients,
+            str(result.config.scheme),
+            result.committed,
+            result.conflict_waits,
+            round(result.throughput_tps, 1),
+            round(result.percentiles["p50"], 1),
+            round(result.percentiles["p99"], 1),
+            result.ipa_flushes,
+            result.oop_flushes,
+        ]
+        for result in [*runs, baseline]
+    ]
+    text = format_table(
+        ["clients", "scheme", "committed", "waits", "txn/s",
+         "p50 [us]", "p99 [us]", "ipa", "oop"],
+        rows,
+        title="txn loadtest: clients sweep (sharded, tpcb, 20% buffer)",
+    )
+    publish(
+        "txn_loadtest_clients",
+        text,
+        data=[result.to_dict() for result in [*runs, baseline]],
+    )
+
+    # Every run drains its full budget deterministically.
+    for result in [*runs, baseline]:
+        assert result.committed + result.aborted == TXNS
+        assert result.percentiles["p99"] >= result.percentiles["p50"]
+
+    # Concurrency pays: many clients out-commit a single closed loop.
+    tput = [result.throughput_tps for result in runs]
+    assert tput[-1] > tput[0], tput
+
+    # The scheme routes the tpcb deltas in place; without it every
+    # eviction is a full out-of-place program.
+    assert runs[-1].ipa_flushes > 0
+    assert baseline.ipa_flushes == 0
+    assert baseline.oop_flushes > 0

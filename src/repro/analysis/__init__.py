@@ -16,6 +16,7 @@ from .cdf import (
     UpdateSizeCollector,
     percentile_at_most,
     percentile_table,
+    sample_percentile,
     value_at_percentile,
 )
 from .report import ascii_cdf, format_percent, format_table
@@ -33,6 +34,7 @@ __all__ = [
     "UpdateSizeCollector",
     "percentile_at_most",
     "percentile_table",
+    "sample_percentile",
     "value_at_percentile",
     "ascii_cdf",
     "format_percent",

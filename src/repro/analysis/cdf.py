@@ -13,6 +13,7 @@ LinkBench.
 from __future__ import annotations
 
 import bisect
+import math
 from dataclasses import dataclass, field
 
 
@@ -101,13 +102,38 @@ def percentile_table(samples: list[int], thresholds: list[int]) -> dict[int, flo
     return {t: percentile_at_most(samples, t) for t in thresholds}
 
 
+def sample_percentile(ordered: list, q: float, method: str = "ceil"):
+    """Exact sample quantile over a *pre-sorted* list (nearest rank).
+
+    The one percentile implementation shared across the repo:
+    ``method="ceil"`` is the textbook nearest-rank definition
+    (``ceil(q*n)``), used by the load-test latency reports;
+    ``method="floor"`` keeps :func:`value_at_percentile`'s historical
+    truncating-index semantics for the update-size tables.  Returns 0.0
+    on an empty list.
+    """
+    if not ordered:
+        return 0.0
+    n = len(ordered)
+    if method == "ceil":
+        rank = min(n, max(1, math.ceil(q * n)))
+    elif method == "floor":
+        # Truncation with a nudge: q usually arrives as percent/100.0,
+        # whose rounding error (~1e-13 at sample-count scale) can land
+        # an exact rank like 0.99*100 just below its integer.  The 1e-9
+        # nudge dominates that error while staying far below the gap to
+        # any legitimate non-integer rank (>= 0.01 for whole percents).
+        rank = min(n, max(1, int(q * n + 1e-9) + 1))
+    else:
+        raise ValueError(f"unknown percentile method {method!r}")
+    return ordered[rank - 1]
+
+
 def value_at_percentile(samples: list[int], percent: float) -> int:
     """Smallest size s.t. at least ``percent``% of samples are <= it."""
     if not samples:
         return 0
-    ordered = sorted(samples)
-    index = min(len(ordered) - 1, max(0, int(len(ordered) * percent / 100.0)))
-    return ordered[index]
+    return sample_percentile(sorted(samples), percent / 100.0, method="floor")
 
 
 @dataclass

@@ -318,10 +318,39 @@ def cmd_crashtest(args) -> int:
 def cmd_loadtest(args) -> int:
     """``repro loadtest``: concurrent-client load against one backend.
 
-    Deterministic for a fixed seed and flag set — the printed report is
-    byte-identical across runs, which the CI smoke job asserts.
+    ``--level device`` (the default) drives raw page operations;
+    ``--level txn`` runs whole engine transactions — buffer pool, WAL,
+    group commit — under the same scheduler.  Both are deterministic
+    for a fixed seed and flag set — the printed report is byte-identical
+    across runs, which the CI smoke jobs assert.
     """
     from .hostq import LoadTestConfig, format_sweep, run_loadtest, sweep_queue_depth
+
+    if args.level == "txn":
+        from .hostq import TxnLoadTestConfig, run_txn_loadtest
+
+        if args.sweep:
+            print("--sweep is a device-level option; drop it with --level txn",
+                  file=sys.stderr)
+            return 1
+        txn_config = TxnLoadTestConfig(
+            backend=args.backend,
+            clients=args.clients,
+            queue_depth=args.queue_depth,
+            seed=args.seed,
+            txns=args.txns,
+            profile=args.profile,
+            logical_pages=args.pages,
+            shards=args.shards,
+            scheme=parse_scheme(args.scheme),
+            buffer_fraction=args.buffer_fraction,
+            think_us=args.think_us,
+            group_commit=args.group_commit,
+            rollback=args.rollback,
+            ops_per_txn=args.ops_per_txn,
+        )
+        print(run_txn_loadtest(txn_config).report())
+        return 0
 
     config = LoadTestConfig(
         backend=args.backend,
@@ -475,6 +504,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_crashtest)
 
     p = sub.add_parser("loadtest", help="concurrent-client load test (hostq)")
+    p.add_argument("--level", choices=("device", "txn"), default="device",
+                   help="drive raw page ops (device) or whole engine "
+                        "transactions (txn)")
     p.add_argument("--backend", choices=BACKENDS, default="noftl",
                    help="storage backend under load")
     p.add_argument("--shards", type=int, default=4,
@@ -503,6 +535,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max commits batched per WAL force")
     p.add_argument("--sweep", default="",
                    help="comma-separated queue depths: print the sweep table")
+    p.add_argument("--txns", type=int, default=200,
+                   help="[txn level] total transactions across all clients")
+    p.add_argument("--scheme", default="2x4",
+                   help="[txn level] IPA scheme, e.g. 2x4, 2x4x12, or off")
+    p.add_argument("--buffer-fraction", type=float, default=0.5,
+                   help="[txn level] buffer pool as a fraction of the pages")
+    p.add_argument("--rollback", type=float, default=None,
+                   help="[txn level] deliberate-rollback fraction "
+                        "(default: the profile's)")
+    p.add_argument("--ops-per-txn", type=int, default=0,
+                   help="[txn level] ops per transaction (0 = profile default)")
     p.set_defaults(func=cmd_loadtest)
 
     p = sub.add_parser("lint", help="run the iplint invariant linter")

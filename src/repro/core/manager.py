@@ -152,6 +152,31 @@ class IPAManager:
     # Flush path
     # ------------------------------------------------------------------
 
+    def plan_flush(self, frame) -> str:
+        """Advisory flush classification: ``"skip"``, ``"ipa"`` or ``"oop"``.
+
+        Mirrors :meth:`flush`'s decision chain without device I/O or
+        frame mutation, so a scheduler can label a queued write-back
+        command.  Advisory only: it runs before checksum stamping and
+        never attempts the append, so the device may still force an
+        out-of-place fallback at execution time.
+        """
+        page = frame.page
+        mapped = self.device.is_mapped(frame.lpn)
+        if mapped and not page.tracked and not page.track_overflowed and not frame.ipa_disabled:
+            return "skip"
+        if (
+            self.scheme.enabled
+            and mapped
+            and page.delta_area_size == self.scheme.area_size
+            and not page.track_overflowed
+            and not frame.ipa_disabled
+        ):
+            body, meta = page.classify_tracked()
+            if self.scheme.fits(len(body), len(meta), frame.slots_used):
+                return "ipa"
+        return "oop"
+
     def flush(self, frame, now: float = 0.0) -> tuple[str, float]:
         """Materialize a dirty frame; returns ``(kind, device_latency_us)``.
 

@@ -104,6 +104,22 @@ class BufferError_(StorageError):
     """Buffer pool misuse: no evictable frame, unpin of unpinned page."""
 
 
+class BufferPoolExhaustedError(BufferError_):
+    """Every frame is pinned; a fetch miss has nothing to evict.
+
+    Carries the pool ``capacity`` and the ``pinned`` frame count so a
+    transaction executor can distinguish "retry after someone unpins"
+    from genuine pool misuse.
+    """
+
+    def __init__(self, capacity: int, pinned: int) -> None:
+        super().__init__(
+            f"every frame is pinned ({pinned}/{capacity}); cannot evict"
+        )
+        self.capacity = capacity
+        self.pinned = pinned
+
+
 class SchemaError(StorageError):
     """A value does not match the column type or schema definition."""
 

@@ -16,7 +16,10 @@ own subsystem:
   dispatching against the :class:`~repro.ftl.device.FlashDevice`
   occupancy hooks, so independent dies genuinely overlap;
 * :mod:`~repro.hostq.loadtest` — ``repro loadtest``: throughput,
-  end-to-end latency percentiles, and the queue-depth sweep.
+  end-to-end latency percentiles, and the queue-depth sweep;
+* :mod:`~repro.hostq.txnexec` — ``repro loadtest --level txn``: whole
+  engine transactions (buffer pool, WAL, group commit) driven as
+  resumable storage programs under the same scheduler.
 
 The layer programs strictly against the device *protocol* — it never
 imports a concrete backend (iplint's device-layering rule holds here
@@ -36,6 +39,12 @@ from .loadtest import (
 from .queueing import ADMISSION_POLICIES, AdmissionPolicy, QueueStats, SubmissionQueue
 from .request import OpKind, Request
 from .scheduler import HostScheduler, SchedulerStats
+from .txnexec import (
+    TxnExecutor,
+    TxnLoadTestConfig,
+    TxnLoadTestResult,
+    run_txn_loadtest,
+)
 
 __all__ = [
     "ADMISSION_POLICIES",
@@ -52,8 +61,12 @@ __all__ = [
     "Request",
     "SchedulerStats",
     "SubmissionQueue",
+    "TxnExecutor",
+    "TxnLoadTestConfig",
+    "TxnLoadTestResult",
     "build_sessions",
     "format_sweep",
     "run_loadtest",
+    "run_txn_loadtest",
     "sweep_queue_depth",
 ]

@@ -45,9 +45,19 @@ class GroupCommitStats:
 class GroupCommitGate:
     """Leader-based commit batching driven by scheduler events."""
 
-    def __init__(self, force_latency_us: float = 50.0, max_group: int = 8) -> None:
+    def __init__(
+        self, force_latency_us: float = 50.0, max_group: int = 8, log=None
+    ) -> None:
         if max_group < 1:
             raise ValueError(f"max_group must be >= 1, got {max_group}")
+        #: Bound :class:`~repro.storage.wal.LogManager`, if any.  The
+        #: gate then takes its force latency from the log and charges
+        #: every force through ``log.note_force(batch)``, so engine-side
+        #: WAL counters (forces, commits_grouped) stay authoritative —
+        #: one group-commit accounting, two scheduling disciplines.
+        self.log = log
+        if log is not None:
+            force_latency_us = log.force_latency_us
         self.force_latency_us = force_latency_us
         self.max_group = max_group
         self._queued: list[Request] = []
@@ -83,6 +93,8 @@ class GroupCommitGate:
         del self._queued[:take]
         self.stats.forces += 1
         self.stats.max_batch = max(self.stats.max_batch, take)
+        if self.log is not None:
+            self.log.note_force(take)
         return now + self.force_latency_us
 
     def force_done(self, now: float) -> tuple[list[Request], float | None]:

@@ -22,10 +22,9 @@ story "How to Write to SSDs" tells, reproduced end to end.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field, replace
 
-from ..analysis.cdf import CDF
+from ..analysis.cdf import CDF, sample_percentile
 from ..analysis.report import format_table
 from ..errors import ReproError
 from ..telemetry.metrics import LATENCY_BUCKETS_US, MetricsRegistry
@@ -237,14 +236,6 @@ class LoadTestResult:
         )
 
 
-def _percentile(ordered: list[float], q: float) -> float:
-    """Exact sample quantile (nearest-rank) over a sorted list."""
-    if not ordered:
-        return 0.0
-    rank = min(len(ordered), max(1, math.ceil(q * len(ordered))))
-    return ordered[rank - 1]
-
-
 def _total_busy_us(device) -> float:
     """Sum of per-chip accumulated command time across the device."""
     scratch = MetricsRegistry()
@@ -385,7 +376,7 @@ def run_loadtest(config: LoadTestConfig, registry: MetricsRegistry | None = None
         throughput_rps=completed / (makespan / 1e6),
         mean_latency_us=sum(ordered) / completed if completed else 0.0,
         max_latency_us=ordered[-1] if ordered else 0.0,
-        percentiles={name: _percentile(ordered, q) for name, q in QUANTILES},
+        percentiles={name: sample_percentile(ordered, q) for name, q in QUANTILES},
         kind_counts=kind_counts,
         delta_fallbacks=executor.delta_fallbacks,
         channels=channels,

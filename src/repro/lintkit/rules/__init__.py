@@ -11,6 +11,7 @@ to :data:`RULE_CLASSES`, and give it passing/failing fixtures in
 from __future__ import annotations
 
 from ..engine import Rule
+from .clock import ClockDisciplineRule
 from .determinism import DeterminismRule
 from .exceptions import ExceptionDisciplineRule
 from .ispp import IsppSafetyRule
@@ -19,6 +20,7 @@ from .telemetry import CounterNamingRule, TelemetryGuardRule
 
 __all__ = [
     "RULE_CLASSES",
+    "ClockDisciplineRule",
     "CounterNamingRule",
     "DeterminismRule",
     "DeviceLayeringRule",
@@ -37,6 +39,7 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     TelemetryGuardRule,
     CounterNamingRule,
     ExceptionDisciplineRule,
+    ClockDisciplineRule,
 )
 
 

@@ -37,7 +37,7 @@ _SLOT = "\x00"
 METRIC_LAYERS = frozenset({
     "device", "blockssd", "ipa", "host", "gc", "flash",
     "buffer", "chip", "wear", "flush", "engine", "wal",
-    "crashkit", "hostq",
+    "crashkit", "hostq", "txn",
 })
 
 _LAYER_HEAD_RE = re.compile(

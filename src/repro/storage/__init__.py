@@ -9,7 +9,16 @@ wires it all to a :class:`repro.ftl.NoFTL` device through the
 
 from .btree import BTreeIndex, int_key
 from .buffer import BufferPool, BufferStats, Frame
+from .clock import Clock, DeferredClock, ScalarClock
 from .engine import EngineConfig, StorageEngine
+from .program import (
+    CommandKind,
+    DeviceCommand,
+    StorageProgram,
+    log_force_command,
+    run_on_clock,
+    run_program,
+)
 from .heap import RID, Table
 from .page_layout import HEADER_SIZE, SLOT_SIZE, SlottedPage
 from .recovery import RecoveryReport, recover
@@ -24,6 +33,15 @@ __all__ = [
     "BufferPool",
     "BufferStats",
     "Frame",
+    "Clock",
+    "CommandKind",
+    "DeferredClock",
+    "DeviceCommand",
+    "ScalarClock",
+    "StorageProgram",
+    "log_force_command",
+    "run_on_clock",
+    "run_program",
     "EngineConfig",
     "StorageEngine",
     "RID",

@@ -21,8 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from ..errors import BufferError_
+from ..errors import BufferError_, BufferPoolExhaustedError
 from .page_layout import SlottedPage
+from .program import CommandKind, DeviceCommand, StorageProgram, run_program
 
 
 class Frame:
@@ -65,6 +66,10 @@ Flusher = Callable[[Frame, float], tuple[str, float]]
 #: loader callback: (lpn, now_us) -> (page, slots_used, read_latency_us)
 Loader = Callable[[int, float], tuple[SlottedPage, int, float]]
 
+#: advisory flush-plan callback: (frame) -> "ipa" | "oop" | "skip"; lets
+#: eviction commands carry the right CommandKind without doing device I/O.
+FlushPlanner = Callable[[Frame], str]
+
 
 class BufferPool:
     """Fixed-capacity page cache with LRU replacement."""
@@ -76,6 +81,7 @@ class BufferPool:
         flusher: Flusher,
         dirty_threshold: float = 0.125,
         telemetry=None,
+        flush_planner: FlushPlanner | None = None,
     ) -> None:
         if capacity < 1:
             raise BufferError_("buffer pool needs at least one frame")
@@ -88,6 +94,7 @@ class BufferPool:
         #: Telemetry handle (``repro.telemetry.Telemetry``); ``None``
         #: keeps fetch/evict/clean free of any event work.
         self.telemetry = telemetry
+        self._flush_planner = flush_planner
         #: lpn -> Frame; dict order is LRU order (front = coldest).
         self._frames: dict[int, Frame] = {}
         self._dirty_count = 0
@@ -118,12 +125,33 @@ class BufferPool:
         except KeyError as exc:
             raise BufferError_(f"page {lpn} is not resident") from exc
 
+    def pinned_lpns(self) -> list[int]:
+        """LPNs of frames with at least one outstanding pin (LRU order)."""
+        return [lpn for lpn, frame in self._frames.items() if frame.pin_count > 0]
+
+    def assert_no_pins(self) -> None:
+        """Pin-leak assertion hook: raise if any frame is still pinned.
+
+        Tests and the transaction executor call this at quiesce points —
+        every pin taken by a completed operation must have been released.
+        """
+        pinned = self.pinned_lpns()
+        if pinned:
+            raise BufferError_(f"pin leak: pages {pinned} still pinned at quiesce")
+
     # ------------------------------------------------------------------
     # Fetch / pin lifecycle
     # ------------------------------------------------------------------
 
     def fetch(self, lpn: int, now: float) -> tuple[Frame, float]:
         """Pin a page, loading it on a miss; returns (frame, read latency)."""
+        result, __ = run_program(self.fetch_program(lpn), now)
+        return result
+
+    def fetch_program(self, lpn: int) -> StorageProgram:
+        """Resumable fetch: yields the eviction write-back (if any) and
+        the miss read as :class:`DeviceCommand`s; returns
+        ``(frame, total latency)``.  Hits return without yielding."""
         self.stats.fetches += 1
         frame = self._frames.get(lpn)
         if frame is not None:
@@ -134,8 +162,17 @@ class BufferPool:
         self.stats.misses += 1
         if self.telemetry is not None:
             self.telemetry.on_buffer("miss", lpn)
-        latency = self._make_room(now)
-        page, slots_used, read_latency = self._loader(lpn, now + latency)
+        latency = yield from self._evict_program()
+        command = DeviceCommand(CommandKind.READ, lpn)
+
+        def run_read(at: float, command: DeviceCommand = command) -> float:
+            page, slots_used, read_latency = self._loader(lpn, at)
+            command.result = (page, slots_used)
+            return read_latency
+
+        command.run = run_read
+        read_latency = yield command
+        page, slots_used = command.result
         frame = Frame(lpn, page, slots_used)
         frame.pin_count = 1
         self._frames[lpn] = frame
@@ -177,23 +214,55 @@ class BufferPool:
 
     def _make_room(self, now: float) -> float:
         """Evict the LRU unpinned frame if the pool is full."""
+        latency, __ = run_program(self._evict_program(), now)
+        return latency
+
+    def _evict_program(self) -> StorageProgram:
+        """Resumable eviction: pick the LRU unpinned victim, remove it,
+        then yield its write-back (if dirty); returns the flush latency.
+
+        The victim leaves ``_frames`` (and the dirty accounting) *before*
+        the write-back command is yielded — invisible synchronously,
+        since the command executes at the yield point, but essential
+        under a scheduler: a re-fetch of the victim's LPN while its
+        write-back is still queued must miss, not resurrect stale state.
+        """
         if len(self._frames) < self.capacity:
             return 0.0
         for lpn, frame in self._frames.items():
             if frame.pin_count == 0:
                 latency = 0.0
                 tele = self.telemetry
+                command = None
                 if frame.dirty:
-                    __, latency = self._flush_frame(frame, now)
+                    frame.dirty = False
+                    self._dirty_count -= 1
+                    command = self._flush_command(frame)
+                del self._frames[lpn]
+                if command is not None:
+                    latency = yield command
                     self.stats.evict_flushes += 1
                     if tele is not None:
                         tele.on_buffer("evict_flush", lpn)
-                del self._frames[lpn]
                 self.stats.evictions += 1
                 if tele is not None:
                     tele.on_buffer("evict", lpn)
                 return latency
-        raise BufferError_("every frame is pinned; cannot evict")
+        raise BufferPoolExhaustedError(self.capacity, len(self._frames))
+
+    def _flush_command(self, frame: Frame) -> DeviceCommand:
+        """Build the write-back command for a dirty frame.
+
+        The command kind reflects what the flusher is *expected* to do
+        (delta append vs. out-of-place program) so schedulers can route
+        it; the flusher itself makes the authoritative call at run time.
+        """
+        kind = CommandKind.PROGRAM
+        if self._flush_planner is not None and self._flush_planner(frame) == "ipa":
+            kind = CommandKind.APPEND
+        return DeviceCommand(
+            kind, frame.lpn, run=lambda at: self._flusher(frame, at)[1]
+        )
 
     def _flush_frame(self, frame: Frame, now: float) -> tuple[str, float]:
         kind, latency = self._flusher(frame, now)

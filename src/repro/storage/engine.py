@@ -10,12 +10,22 @@ log, the transaction manager, heap tables, and the
 :class:`~repro.core.manager.IPAManager` that decides how dirty pages
 are materialized on flash.
 
-The engine also owns the simulated clock (microseconds).  Foreground
-work advances it: CPU cost per record operation, read latency on fetch
-misses, and log forces on commit.  Background flushes (cleaner,
-checkpoints, evictions) do *not* advance the clock but occupy the flash
-chips, so subsequent foreground reads observe the contention — the
-mechanism behind the paper's latency results.
+The engine charges foreground time — CPU cost per record operation,
+read latency on fetch misses, log forces on commit — to a
+:class:`~repro.storage.clock.Clock`.  Standalone runs own a private
+:class:`~repro.storage.clock.ScalarClock` (the original synchronous
+behaviour); under :class:`~repro.hostq.txnexec.TxnExecutor` a
+:class:`~repro.storage.clock.DeferredClock` follows the event loop
+instead.  Background flushes (cleaner, checkpoints, evictions) do *not*
+advance the clock but occupy the flash chips, so subsequent foreground
+reads observe the contention — the mechanism behind the paper's latency
+results.
+
+I/O-bearing operations are written once, as resumable *storage
+programs* (``pin_program``, ``commit_program``, ``read_program``,
+``update_program``); the synchronous entry points drive them to
+completion on the engine clock via
+:func:`~repro.storage.program.run_on_clock`.
 """
 
 from __future__ import annotations
@@ -28,8 +38,10 @@ from ..core.scheme import NxMScheme, SCHEME_OFF
 from ..errors import StorageError, TransactionError
 from ..ftl.device import FlashDevice
 from .buffer import BufferPool, Frame
+from .clock import Clock, ScalarClock
 from .heap import RID, Table
 from .page_layout import SlottedPage
+from .program import StorageProgram, log_force_command, run_on_clock
 from .schema import Schema
 from .txn import Transaction, TransactionManager
 from .wal import LogKind, LogManager
@@ -76,11 +88,19 @@ class StorageEngine:
     """ACID storage engine over any :class:`FlashDevice` backend."""
 
     def __init__(
-        self, device: FlashDevice, config: EngineConfig | None = None, telemetry=None
+        self,
+        device: FlashDevice,
+        config: EngineConfig | None = None,
+        telemetry=None,
+        clock: Clock | None = None,
     ) -> None:
         self.device = device
         self.config = config if config is not None else EngineConfig()
-        self.clock = 0.0
+        #: The engine's simulated clock.  Standalone engines own a
+        #: ScalarClock; a scheduler passes a DeferredClock so event time
+        #: stays with the event loop.  All time charges go through this
+        #: object (see the clock-discipline lint rule).
+        self._clock: Clock = clock if clock is not None else ScalarClock()
         #: Telemetry handle (``repro.telemetry.Telemetry``); set via the
         #: constructor or ``Telemetry.attach_engine``, ``None`` when off.
         self.telemetry = telemetry
@@ -100,6 +120,7 @@ class StorageEngine:
             loader=self._load,
             flusher=self._flush,
             dirty_threshold=self.config.dirty_threshold,
+            flush_planner=self.ipa.plan_flush,
         )
         self.log = LogManager(
             capacity_bytes=self.config.log_capacity_bytes,
@@ -184,6 +205,12 @@ class StorageEngine:
         return index
 
     @property
+    def clock(self) -> float:
+        """Current simulated time (µs); read-only — charges go through
+        the :class:`~repro.storage.clock.Clock` object."""
+        return self._clock.now
+
+    @property
     def page_size(self) -> int:
         return self.device.page_size
 
@@ -203,9 +230,13 @@ class StorageEngine:
 
     def pin(self, lpn: int) -> Frame:
         """Fetch and pin a page; foreground read latency hits the clock."""
-        frame, latency = self.pool.fetch(lpn, self.clock)
+        return run_on_clock(self.pin_program(lpn), self._clock)
+
+    def pin_program(self, lpn: int) -> StorageProgram:
+        """Resumable :meth:`pin`: yields the fetch's device commands and
+        folds observed latency into the foreground-read accounting."""
+        frame, latency = yield from self.pool.fetch_program(lpn)
         if latency:
-            self.clock += latency
             self.foreground_read_time_us += latency
             self.foreground_reads += 1
         return frame
@@ -243,7 +274,7 @@ class StorageEngine:
 
     def charge_cpu(self) -> None:
         """Advance the clock by one record-operation CPU cost."""
-        self.clock += self.config.cpu_cost_us
+        self._clock.advance(self.config.cpu_cost_us)
 
     def _load(self, lpn: int, now: float):
         if self.fetch_observer is not None:
@@ -264,11 +295,59 @@ class StorageEngine:
 
     def commit(self, txn: Transaction) -> None:
         """Commit: append + force the log, then run maintenance."""
+        run_on_clock(self.commit_program(txn), self._clock)
+
+    def commit_program(self, txn: Transaction) -> StorageProgram:
+        """Resumable :meth:`commit`: yields the log force as a command.
+
+        Synchronous drivers execute it (``log.force()``, amortized
+        group-commit accounting); the transaction executor routes it
+        through the :class:`~repro.hostq.groupcommit.GroupCommitGate`
+        instead, which charges the same log via ``note_force``.
+        """
         txn.require_active()
         self.log.append(txn.txn_id, LogKind.COMMIT)
-        self.clock += self.log.force()
-        self.txns.finish_commit(txn, self.clock)
+        yield log_force_command(self.log)
+        self.txns.finish_commit(txn, self._clock.now)
         self.maintenance()
+
+    def read_program(self, lpn: int) -> StorageProgram:
+        """Resumable point read: pin the page, release it clean, charge
+        one record-operation CPU cost."""
+        yield from self.pin_program(lpn)
+        self.pool.unpin(lpn, dirty=False)
+        self.charge_cpu()
+
+    def update_program(
+        self, txn: Transaction, lpn: int, offset: int, payload: bytes
+    ) -> StorageProgram:
+        """Resumable raw byte update on one page, WAL-logged.
+
+        Pins the page, patches ``payload`` at ``offset`` (the page
+        tracks the changed bytes for the IPA flush path), appends an
+        UPDATE record carrying the before-image for rollback, and
+        releases the pin dirty.  The transaction-level load harness
+        assembles whole transactions out of these; record-level access
+        stays on the synchronous :class:`~repro.storage.heap.Table`
+        paths.
+        """
+        txn.require_active()
+        frame = yield from self.pin_program(lpn)
+        page = frame.page
+        try:
+            old = bytes(page.image[offset : offset + len(payload)])
+            page.write_bytes(offset, payload)
+            record = self.log.append(
+                txn.txn_id, LogKind.UPDATE, lpn, -1, ((offset, old, bytes(payload)),)
+            )
+            page.set_lsn(record.lsn)
+            txn.note_undo(record)
+        except Exception:
+            self.pool.unpin(lpn, dirty=True)
+            raise
+        self.pool.unpin(lpn, dirty=True)
+        self.charge_cpu()
+        return record.lsn
 
     def abort(self, txn: Transaction) -> None:
         """Roll back a transaction by applying its log records' inverses."""
@@ -389,7 +468,7 @@ class StorageEngine:
         flushed = self.pool.flush_all(self.clock)
         # A checkpoint is a durability barrier: commits still buffered in
         # an open commit group must hit the log before it is reclaimed.
-        self.clock += self.log.flush_group()
+        self._clock.advance(self.log.flush_group())
         self.log.note_checkpoint()
         self.checkpoints += 1
         return flushed

@@ -160,8 +160,26 @@ class LogManager:
         if self._group_pending < self.group_commit:
             self.commits_grouped += 1
             return 0.0
+        # The buffered commits already counted themselves in
+        # commits_grouped above, so this force covers a batch of one.
         self._group_pending = 0
+        return self.note_force()
+
+    def note_force(self, batch: int = 1) -> float:
+        """Account one physical force covering ``batch`` commits.
+
+        The single group-commit accounting primitive: the amortized
+        :meth:`force` path and the event-driven
+        :class:`~repro.hostq.groupcommit.GroupCommitGate` both charge
+        forces through the same counters, so either discipline yields
+        one force per group with the surplus commits in
+        ``commits_grouped``.  Returns the force latency.
+        """
+        if batch < 1:
+            raise ValueError(f"force batch must cover >= 1 commit, got {batch}")
         self.forces += 1
+        if batch > 1:
+            self.commits_grouped += batch - 1
         return self.force_latency_us
 
     def flush_group(self) -> float:
@@ -173,8 +191,7 @@ class LogManager:
         if self._group_pending == 0:
             return 0.0
         self._group_pending = 0
-        self.forces += 1
-        return self.force_latency_us
+        return self.note_force()
 
     def space_consumed_fraction(self) -> float:
         """Log space used since the last checkpoint, as a fraction."""

@@ -216,12 +216,15 @@ def build_engine(
     buffer_pages: int | None = None,
     eviction: str = "eager",
     telemetry=None,
+    clock=None,
     **config_kwargs,
 ) -> StorageEngine:
     """An engine over ``device``; buffer defaults to half the device.
 
     Pass a :class:`~repro.telemetry.Telemetry` instance to instrument
-    the whole stack (flash array, NoFTL, IPA manager, buffer pool).
+    the whole stack (flash array, NoFTL, IPA manager, buffer pool), and
+    a :class:`~repro.storage.clock.Clock` to run the engine under an
+    external event loop (``None`` keeps the standalone scalar clock).
     """
     if buffer_pages is None:
         buffer_pages = max(8, device.logical_pages // 2)
@@ -231,7 +234,7 @@ def build_engine(
         eviction=eviction,
         **config_kwargs,
     )
-    return StorageEngine(device, config, telemetry=telemetry)
+    return StorageEngine(device, config, telemetry=telemetry, clock=clock)
 
 
 def load_scaled(

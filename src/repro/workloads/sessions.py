@@ -51,6 +51,10 @@ class SessionProfile:
     #: Erased tail (bytes) full-page writes leave for future appends;
     #: the executor's delta cursor walks this area.
     delta_area_bytes: int = 512
+    #: Fraction of transactions that deliberately roll back instead of
+    #: committing (transaction-level load tests only; the device-level
+    #: request stream has no transaction boundary to roll back to).
+    rollback_fraction: float = 0.0
 
 
 #: Session presets mirroring the benchmark workloads' update profiles:
@@ -68,6 +72,7 @@ PROFILES: dict[str, SessionProfile] = {
     "tpcc": SessionProfile(
         "tpcc", read_fraction=0.55, delta_fraction=0.70, delta_bytes=24,
         hot_fraction=0.20, hot_access_fraction=0.80, ops_per_txn=10,
+        rollback_fraction=0.01,
     ),
     "tatp": SessionProfile(
         "tatp", read_fraction=0.80, delta_fraction=0.90, delta_bytes=8,

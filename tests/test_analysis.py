@@ -15,6 +15,7 @@ from repro.analysis import (
     percentile_at_most,
     percentile_table,
     relative_change,
+    sample_percentile,
     value_at_percentile,
 )
 from repro.ftl.stats import DeviceStats
@@ -196,3 +197,45 @@ class TestWaReductionFactor:
         from repro.analysis import wa_reduction_factor
 
         assert wa_reduction_factor(DeviceStats(), DeviceStats(), 4096, 1, 1) == 0.0
+
+
+class TestSamplePercentile:
+    """The one shared percentile helper vs the two legacy formulas.
+
+    ``sample_percentile`` replaced two independent implementations
+    (the load test's nearest-rank ``_percentile`` and this package's
+    truncating ``value_at_percentile`` index); these sweeps pin both
+    historical behaviours bit for bit.
+    """
+
+    PERCENTS = [0, 1, 5, 25, 50, 55, 75, 90, 95, 99, 99.9, 100]
+
+    def test_ceil_matches_the_loadtest_nearest_rank(self):
+        import math
+
+        for n in range(1, 130):
+            ordered = [float(i * i) for i in range(n)]
+            for q in (0.5, 0.95, 0.99, 0.999):
+                legacy = ordered[min(n, max(1, math.ceil(q * n))) - 1]
+                assert sample_percentile(ordered, q) == legacy
+
+    def test_floor_matches_the_legacy_truncating_index(self):
+        for n in range(1, 130):
+            ordered = list(range(n))
+            for percent in self.PERCENTS:
+                legacy = ordered[min(n - 1, max(0, int(n * percent / 100.0)))]
+                got = sample_percentile(ordered, percent / 100.0, method="floor")
+                assert got == legacy, (n, percent)
+
+    def test_empty_and_bad_method(self):
+        assert sample_percentile([], 0.5) == 0.0
+        with pytest.raises(ValueError):
+            sample_percentile([1], 0.5, method="median")
+
+    @given(st.lists(st.integers(min_value=0, max_value=4096), min_size=1))
+    def test_value_at_percentile_still_agrees_with_its_old_formula(self, samples):
+        ordered = sorted(samples)
+        n = len(ordered)
+        for percent in self.PERCENTS:
+            legacy = ordered[min(n - 1, max(0, int(n * percent / 100.0)))]
+            assert value_at_percentile(samples, percent) == legacy

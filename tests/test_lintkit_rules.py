@@ -15,6 +15,7 @@ import pytest
 from repro.lintkit import LintModule, Suppressions, lint_module
 from repro.lintkit.rules import (
     RULE_CLASSES,
+    ClockDisciplineRule,
     CounterNamingRule,
     DeterminismRule,
     DeviceLayeringRule,
@@ -399,10 +400,67 @@ class TestExceptionDiscipline:
 # Registry & cross-rule behaviour
 # ----------------------------------------------------------------------
 
+# ----------------------------------------------------------------------
+# clock-discipline
+# ----------------------------------------------------------------------
+
+CLOCK_AUG_FAIL = """
+    def commit(self, txn):
+        self.clock += self.log.force()
+"""
+
+CLOCK_MATH_FAIL = """
+    def catch_up(engine, target):
+        engine.clock = target - 5.0
+"""
+
+CLOCK_RESET_FAIL = """
+    def reset(self):
+        self.clock = 0.0
+"""
+
+CLOCK_PASS = """
+    def commit(self, txn):
+        self._clock.advance(self.log.force())
+        self._clock.sync_to(self.scheduler.now)
+
+    def wire(self, clock):
+        self.clock = clock          # object wiring stays legal
+        self.clock = other.clock    # aliasing too
+
+    def local_counter():
+        clock = 0.0
+        clock += 1.0                # bare name: not a clock attribute
+        return clock
+"""
+
+
+class TestClockDiscipline:
+    def test_augmented_assignment_flagged(self):
+        findings = lint_snippet(CLOCK_AUG_FAIL, ClockDisciplineRule())
+        assert len(findings) == 1
+        assert "Clock.advance" in findings[0].message
+
+    def test_arithmetic_assignment_flagged(self):
+        assert len(lint_snippet(CLOCK_MATH_FAIL, ClockDisciplineRule())) == 1
+
+    def test_numeric_reset_flagged(self):
+        assert len(lint_snippet(CLOCK_RESET_FAIL, ClockDisciplineRule())) == 1
+
+    def test_advance_and_wiring_clean(self):
+        assert lint_snippet(CLOCK_PASS, ClockDisciplineRule()) == []
+
+    def test_clock_module_itself_exempt(self):
+        findings = lint_snippet(
+            CLOCK_AUG_FAIL, ClockDisciplineRule(), module="repro.storage.clock"
+        )
+        assert findings == []
+
+
 class TestRegistry:
     def test_every_rule_has_unique_id_and_description(self):
         ids = [cls.id for cls in RULE_CLASSES]
-        assert len(set(ids)) == len(ids) == 6
+        assert len(set(ids)) == len(ids) == 7
         assert all(cls.description for cls in RULE_CLASSES)
 
     def test_default_rules_instantiates_all(self):
