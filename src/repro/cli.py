@@ -382,16 +382,18 @@ def cmd_loadtest(args) -> int:
 def cmd_lint(args) -> int:
     """``repro lint``: run the iplint invariant rules over source paths.
 
-    With no paths, lints the installed ``repro`` package itself.  Exits
-    0 when clean, 1 with findings, 2 when a file cannot be parsed.
+    With no paths, lints the installed ``repro`` package itself.  The
+    flow-sensitive pass is on by default; ``--no-flow`` reverts to the
+    purely syntactic rules.  Exits 0 when clean, 1 with findings, 2
+    when a file cannot be parsed.
     """
     from pathlib import Path
 
-    from .lintkit import render_json, render_text, run_lint
+    from .lintkit import render_github, render_json, render_text, run_lint
 
     paths = args.paths or [str(Path(__file__).resolve().parent)]
     try:
-        findings = run_lint(paths)
+        findings = run_lint(paths, flow=args.flow)
     except SyntaxError as exc:
         print(f"iplint: cannot parse {exc.filename}:{exc.lineno}: {exc.msg}",
               file=sys.stderr)
@@ -399,7 +401,11 @@ def cmd_lint(args) -> int:
     except OSError as exc:
         print(f"iplint: {exc}", file=sys.stderr)
         return 2
-    render = render_json if args.format == "json" else render_text
+    render = {
+        "json": render_json,
+        "github": render_github,
+        "human": render_text,
+    }[args.format]
     print(render(findings), end="")
     return 1 if findings else 0
 
@@ -551,7 +557,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("lint", help="run the iplint invariant linter")
     p.add_argument("paths", nargs="*",
                    help="files/directories to lint (default: the repro package)")
-    p.add_argument("--format", choices=("human", "json"), default="human")
+    p.add_argument("--format", choices=("human", "json", "github"),
+                   default="human")
+    p.add_argument("--flow", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="flow-sensitive rules (CFG/call-graph pass); "
+                        "--no-flow runs only the syntactic rules")
     p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("trace-replay", help="replay a trace: IPA vs IPL")

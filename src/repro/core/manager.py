@@ -233,17 +233,22 @@ class IPAManager:
             return None
         if self._ecc is not None:
             self._program_delta_ecc(frame, records, data, offset)
-        frame.slots_used += len(records)
         # Commit marks go last: data (and its ECC) first, then the
         # marks, so a marked slot is always complete.  All marks up to
-        # slots_used are re-programmed every time — a black-box device
-        # may have silently relocated the page to a fresh erased OOB
-        # during an internal read-modify-write, and re-clearing already
-        # cleared bits is a legal (no-op) ISPP program otherwise.
-        marks = bytes([_MARK_BYTE]) * frame.slots_used
+        # the new slot count are re-programmed every time — a black-box
+        # device may have silently relocated the page to a fresh erased
+        # OOB during an internal read-modify-write, and re-clearing
+        # already cleared bits is a legal (no-op) ISPP program
+        # otherwise.  The frame's own slot accounting moves only after
+        # the marks land: a crash between data and mark must leave the
+        # in-memory state agreeing with recovery, which will not see
+        # the unmarked slots.
+        committed = frame.slots_used + len(records)
+        marks = bytes([_MARK_BYTE]) * committed
         self.device.write_oob(
             frame.lpn, marks, self.device.oob_size - self.scheme.n
         )
+        frame.slots_used = committed
         net, gross = len(body), len(body) + len(meta)
         page.reset_tracking()
         self.stats.ipa_flushes += 1

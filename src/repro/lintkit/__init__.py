@@ -13,8 +13,13 @@ invariants this codebase rests on (DESIGN.md §9):
 * **counter-naming** — metric names follow ``{layer}_{noun}``;
 * **exception-discipline** — no bare/blind ``except``.
 
-Run it as ``repro lint [--format json] [paths...]`` (CI does), or
-programmatically::
+A flow-sensitive pass (:mod:`repro.lintkit.flow`, on by default) adds
+CFG- and call-graph-backed rules — **yield-discipline**,
+**lock-ordering**, **crash-window**, **transitive-layering**, and a
+dominator-based **telemetry-guard** (DESIGN.md §13).
+
+Run it as ``repro lint [--format json|github] [--no-flow] [paths...]``
+(CI does), or programmatically::
 
     from repro.lintkit import run_lint
 
@@ -38,7 +43,8 @@ from .engine import (
     module_name_for,
     run_lint,
 )
-from .report import json_report, render_json, render_text
+from .flow import FLOW_RULE_CLASSES, FlowContext, FlowRule
+from .report import json_report, render_github, render_json, render_text
 from .rules import RULE_CLASSES, default_rules, rule_by_id
 
 __all__ = [
@@ -46,6 +52,9 @@ __all__ = [
     "LintModule",
     "Rule",
     "Suppressions",
+    "FLOW_RULE_CLASSES",
+    "FlowContext",
+    "FlowRule",
     "RULE_CLASSES",
     "default_rules",
     "rule_by_id",
@@ -55,6 +64,7 @@ __all__ = [
     "module_name_for",
     "run_lint",
     "json_report",
+    "render_github",
     "render_json",
     "render_text",
 ]

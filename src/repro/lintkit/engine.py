@@ -256,20 +256,36 @@ def run_lint(
     paths: Iterable[str | Path],
     rules: Sequence[Rule] | None = None,
     root: str | Path | None = None,
+    flow: bool = True,
 ) -> list[Finding]:
     """Lint files/directories with the given rules (default: all).
 
-    Returns every unsuppressed finding sorted by location.  The import
-    of the default rule set lives here (not module top) so the engine
-    stays importable from the rule modules without a cycle.
+    Returns every unsuppressed finding sorted by location.  ``flow``
+    selects the default rule set (flow-sensitive pass on/off) and is
+    ignored when explicit ``rules`` are given.  All modules are parsed
+    up front so flow rules share one analysis context (one call-graph
+    build per run).  The imports of the rule set and the flow layer
+    live here (not module top) so the engine stays importable from the
+    rule modules without a cycle.
     """
     if rules is None:
         from .rules import default_rules
 
-        rules = default_rules()
+        rules = default_rules(flow=flow)
     root_path = Path(root) if root is not None else None
+    modules = [
+        load_module(path, root_path)
+        for path in iter_python_files(Path(p) for p in paths)
+    ]
+    from .flow.base import FlowContext, FlowRule
+
+    flow_rules = [rule for rule in rules if isinstance(rule, FlowRule)]
+    if flow_rules:
+        context = FlowContext(modules)
+        for rule in flow_rules:
+            rule.bind(context)
     findings: list[Finding] = []
-    for path in iter_python_files(Path(p) for p in paths):
-        findings.extend(lint_module(load_module(path, root_path), rules))
+    for module in modules:
+        findings.extend(lint_module(module, rules))
     findings.sort()
     return findings

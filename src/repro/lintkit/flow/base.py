@@ -1,0 +1,74 @@
+"""Flow-rule plumbing: the shared per-run analysis context.
+
+Flow rules need more than one module's AST: the transitive-layering
+rule walks a project-wide call graph, and every rule builds CFGs.  Both
+are pure functions of the parsed sources, so one lint run computes each
+exactly once:
+
+* :class:`FlowContext` owns the loaded modules and *lazily* caches the
+  call graph (built on first access, shared by every rule thereafter)
+  and one CFG per scope node (shared between rules that inspect the
+  same function);
+* :class:`FlowRule` is the base class flow rules subclass instead of
+  :class:`~repro.lintkit.engine.Rule`; the engine binds the run's
+  context before checking.  An unbound rule (unit tests, ad-hoc use)
+  transparently builds a single-module context on demand.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import LintModule, Rule
+from .callgraph import CallGraph, build_call_graph
+from .cfg import CFG, build_cfg
+
+__all__ = ["FlowContext", "FlowRule"]
+
+
+class FlowContext:
+    """Analysis state shared by all flow rules within one lint run."""
+
+    def __init__(self, modules: list[LintModule]) -> None:
+        self.modules = list(modules)
+        self._cfgs: dict[int, CFG] = {}
+        self._call_graph: CallGraph | None = None
+        #: How many times the call graph was actually constructed —
+        #: asserted to stay at 1 per run (build caching regression).
+        self.call_graph_builds = 0
+
+    @property
+    def call_graph(self) -> CallGraph:
+        """The project call graph, built once and memoized."""
+        if self._call_graph is None:
+            self._call_graph = build_call_graph(self.modules)
+            self.call_graph_builds += 1
+        return self._call_graph
+
+    def cfg(self, scope: ast.AST) -> CFG:
+        """The (memoized) CFG of one function/module scope."""
+        cfg = self._cfgs.get(id(scope))
+        if cfg is None:
+            cfg = build_cfg(scope)
+            self._cfgs[id(scope)] = cfg
+        return cfg
+
+
+class FlowRule(Rule):
+    """A rule that runs over CFGs and the shared project context."""
+
+    def __init__(self) -> None:
+        self.context: FlowContext | None = None
+
+    def bind(self, context: FlowContext) -> None:
+        """Attach the run-wide analysis context (engine calls this)."""
+        self.context = context
+
+    def context_for(self, module: LintModule) -> FlowContext:
+        """The bound context, or a throwaway single-module one."""
+        if self.context is None:
+            self.context = FlowContext([module])
+        elif all(m is not module for m in self.context.modules):
+            # An ad-hoc module outside the bound run (snippet tests).
+            return FlowContext([module])
+        return self.context

@@ -1,0 +1,46 @@
+"""Registry of the flow-sensitive lint rules.
+
+Five rules, each enforcing one invariant from DESIGN.md §13 over the
+CFG/call-graph layer in :mod:`repro.lintkit.flow`:
+
+========================  ============================================
+rule id                   invariant
+========================  ============================================
+``yield-discipline``      storage programs stay resume-safe
+``lock-ordering``         multi-LPN acquire loops iterate sorted LPNs
+``crash-window``          no state mutation between data and mark
+``telemetry-guard``       emits dominated by an ``.active`` check
+``transitive-layering``   no call chain into concrete backends
+========================  ============================================
+
+``telemetry-guard`` deliberately reuses the syntactic rule's id: it is
+the same contract, enforced precisely, and existing suppressions keep
+working.  ``default_rules(flow=True)`` swaps the syntactic
+implementation out for this one.
+"""
+
+from __future__ import annotations
+
+from .crash_window import CrashWindowRule
+from .layering import TransitiveLayeringRule
+from .lock_order import LockOrderingRule
+from .telemetry_guard import FlowTelemetryGuardRule
+from .yield_discipline import YieldDisciplineRule
+
+__all__ = [
+    "CrashWindowRule",
+    "FLOW_RULE_CLASSES",
+    "FlowTelemetryGuardRule",
+    "LockOrderingRule",
+    "TransitiveLayeringRule",
+    "YieldDisciplineRule",
+]
+
+#: Every flow rule, in reporting order.
+FLOW_RULE_CLASSES = (
+    YieldDisciplineRule,
+    LockOrderingRule,
+    CrashWindowRule,
+    FlowTelemetryGuardRule,
+    TransitiveLayeringRule,
+)

@@ -1,11 +1,16 @@
 """The iplint rule registry.
 
 Each rule lives in its own module; :func:`default_rules` instantiates
-the full set the CLI, the CI job and the regression test run over
+the set the CLI, the CI job and the regression test run over
 ``src/repro``.  Adding a rule means: implement a
 :class:`~repro.lintkit.engine.Rule` subclass, import it here, append it
 to :data:`RULE_CLASSES`, and give it passing/failing fixtures in
 ``tests/test_lintkit_rules.py``.
+
+With the flow pass enabled (the default), the flow rules from
+:mod:`repro.lintkit.flow.rules` join the set and the dominator-based
+``telemetry-guard`` replaces the syntactic line-span heuristic; with
+``flow=False`` the original purely syntactic seven run alone.
 """
 
 from __future__ import annotations
@@ -43,14 +48,33 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
 )
 
 
-def default_rules() -> list[Rule]:
-    """Fresh instances of the full rule set."""
-    return [cls() for cls in RULE_CLASSES]
+def default_rules(flow: bool = True) -> list[Rule]:
+    """Fresh instances of the default rule set.
+
+    ``flow=True`` (the default) adds the flow-sensitive rules and
+    swaps the syntactic :class:`TelemetryGuardRule` for its
+    dominator-based replacement (same rule id, precise semantics).
+    """
+    if not flow:
+        return [cls() for cls in RULE_CLASSES]
+    from ..flow.rules import FLOW_RULE_CLASSES  # late: avoids a cycle
+
+    rules: list[Rule] = [
+        cls() for cls in RULE_CLASSES if cls is not TelemetryGuardRule
+    ]
+    rules.extend(cls() for cls in FLOW_RULE_CLASSES)
+    return rules
 
 
 def rule_by_id(rule_id: str) -> Rule:
-    """Instantiate one rule by its id (raises KeyError when unknown)."""
-    for cls in RULE_CLASSES:
+    """Instantiate one rule by its id (raises KeyError when unknown).
+
+    Syntactic rules win a tie — ``telemetry-guard`` resolves to the
+    original implementation, matching ``--no-flow`` behaviour.
+    """
+    from ..flow.rules import FLOW_RULE_CLASSES  # late: avoids a cycle
+
+    for cls in RULE_CLASSES + FLOW_RULE_CLASSES:
         if cls.id == rule_id:
             return cls()
     raise KeyError(f"no lint rule with id {rule_id!r}")

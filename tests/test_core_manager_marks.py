@@ -204,3 +204,52 @@ class TestEccErasedCodeSkip:
         corrected = ecc.verify(data, bytes(oob), 1)
         assert corrected == 1
         assert data == bytearray(b"\x5a" * 16)
+
+
+class TestCrashWindowAccounting:
+    """Regression: frame accounting must move only after the commit mark.
+
+    ``_flush_ipa`` once bumped ``frame.slots_used`` between the delta
+    program and the OOB mark program — inside the crash window.  A
+    crash there left the in-memory frame claiming one more committed
+    slot than recovery would ever see (the flow linter's crash-window
+    rule now catches this statically; this test pins it dynamically).
+    """
+
+    def test_crash_before_mark_leaves_frame_accounting_unchanged(self):
+        device = make_device()
+        scheme = NxMScheme(2, 4)
+        manager = IPAManager(device, scheme)
+        frame, slot = flushed_frame(manager, scheme)
+        assert frame.slots_used == 1
+        frame.page.update_record_bytes(slot, 0, b"\x22")
+
+        original_write_oob = device.write_oob
+
+        def power_cut(*args, **kwargs):
+            raise RuntimeError("power cut before commit mark")
+
+        device.write_oob = power_cut
+        try:
+            with pytest.raises(RuntimeError):
+                manager.flush(frame)
+        finally:
+            device.write_oob = original_write_oob
+
+        # In-memory accounting agrees with durable state: recovery
+        # sees one marked slot, and so does the frame.
+        assert frame.slots_used == 1
+        __, used, __ = manager.load(0)
+        assert used == 1
+
+    def test_successful_flush_still_advances_accounting(self):
+        device = make_device()
+        scheme = NxMScheme(2, 4)
+        manager = IPAManager(device, scheme)
+        frame, slot = flushed_frame(manager, scheme)
+        frame.page.update_record_bytes(slot, 0, b"\x22")
+        kind, __ = manager.flush(frame)
+        assert kind == "ipa"
+        assert frame.slots_used == 2
+        __, used, __ = manager.load(0)
+        assert used == 2

@@ -161,6 +161,30 @@ class TestReporters:
     def test_render_text_clean(self):
         assert render_text([]) == "iplint: no findings\n"
 
+    def test_render_github_annotations(self, tmp_path):
+        from repro.lintkit import render_github
+
+        text = render_github(self._findings(tmp_path))
+        lines = text.splitlines()
+        commands = [line for line in lines if line.startswith("::error ")]
+        assert len(commands) == 2
+        for command in commands:
+            assert "file=" in command and ",line=" in command
+            assert "title=iplint" in command
+        assert lines[-1] == "iplint: 2 findings"
+
+    def test_render_github_escapes_message_payload(self):
+        from repro.lintkit import render_github
+
+        finding = Finding("a.py", 1, 1, "x-rule", "50% torn\nnewline")
+        (command, _summary) = render_github([finding]).splitlines()
+        assert "50%25 torn%0Anewline" in command
+
+    def test_render_github_clean(self):
+        from repro.lintkit import render_github
+
+        assert render_github([]) == "iplint: no findings\n"
+
     def test_findings_sort_by_location(self):
         later = Finding("b.py", 9, 1, "determinism", "x")
         earlier = Finding("a.py", 2, 1, "ispp-safety", "y")
@@ -198,6 +222,28 @@ class TestLintCli:
         path.write_text("def broken(:\n")
         assert main(["lint", str(path)]) == 2
         assert "cannot parse" in capsys.readouterr().err
+
+    def test_github_format(self, tmp_path, capsys):
+        path = tmp_path / "mod.py"
+        path.write_text(BROKEN_SOURCE)
+        assert main(["lint", "--format", "github", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert out.startswith("::error file=")
+
+    def test_no_flow_escape_hatch(self, tmp_path, capsys):
+        pkg = tmp_path / "src" / "repro" / "hostq"
+        pkg.mkdir(parents=True)
+        src = (
+            "def locks_program(lpns):\n"
+            "    for lpn in lpns:\n"
+            "        yield _Acquire(lpn)\n"
+        )
+        (pkg / "bad.py").write_text(src)
+        # Module names resolve via the src layout anchor; the flow
+        # pass fires on the hostq module, --no-flow does not.
+        assert main(["lint", str(tmp_path)]) == 1
+        assert "lock-ordering" in capsys.readouterr().out
+        assert main(["lint", "--no-flow", str(tmp_path)]) == 0
 
 
 def test_src_repro_is_iplint_clean():

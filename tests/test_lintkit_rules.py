@@ -463,13 +463,31 @@ class TestRegistry:
         assert len(set(ids)) == len(ids) == 7
         assert all(cls.description for cls in RULE_CLASSES)
 
-    def test_default_rules_instantiates_all(self):
-        assert {type(rule) for rule in default_rules()} == set(RULE_CLASSES)
+    def test_default_rules_instantiates_all_syntactic(self):
+        assert {type(rule) for rule in default_rules(flow=False)} == set(
+            RULE_CLASSES
+        )
+
+    def test_default_rules_with_flow_swaps_telemetry_guard(self):
+        from repro.lintkit.flow.rules import FLOW_RULE_CLASSES
+
+        classes = {type(rule) for rule in default_rules()}
+        assert TelemetryGuardRule not in classes
+        assert set(FLOW_RULE_CLASSES) <= classes
+        assert classes >= set(RULE_CLASSES) - {TelemetryGuardRule}
+        ids = [rule.id for rule in default_rules()]
+        assert len(ids) == len(set(ids))
 
     def test_rule_by_id(self):
         assert isinstance(rule_by_id("ispp-safety"), IsppSafetyRule)
+        assert rule_by_id("telemetry-guard").__class__ is TelemetryGuardRule
         with pytest.raises(KeyError):
             rule_by_id("no-such-rule")
+
+    def test_rule_by_id_finds_flow_rules(self):
+        from repro.lintkit.flow.rules import CrashWindowRule
+
+        assert isinstance(rule_by_id("crash-window"), CrashWindowRule)
 
     def test_full_set_on_multi_violation_snippet(self):
         source = """

@@ -65,7 +65,8 @@ SURFACE = {
         "Rule", "Finding", "LintModule", "Suppressions",
         "run_lint", "lint_module", "load_module", "iter_python_files",
         "module_name_for", "RULE_CLASSES", "default_rules", "rule_by_id",
-        "json_report", "render_json", "render_text",
+        "json_report", "render_json", "render_text", "render_github",
+        "FLOW_RULE_CLASSES", "FlowContext", "FlowRule",
     ],
 }
 
