@@ -25,7 +25,8 @@ from pathlib import Path
 from repro.analysis import UpdateSizeCollector
 from repro.core import NxMScheme, SCHEME_OFF
 from repro.ftl.region import IPAMode
-from repro.testbed import build_engine, emulator_device, load_scaled, openssd_device
+from repro.session import SessionConfig, open_session
+from repro.testbed import load_scaled
 from repro.workloads import (
     LinkBench,
     LinkBenchConfig,
@@ -136,23 +137,19 @@ class BenchRunner:
         spec = WORKLOADS[workload]
         if transactions is None:
             transactions = spec["transactions"]
-        if platform == "emulator":
-            device = emulator_device(
-                spec["logical_pages"], ipa_capable=True,
-                overprovisioning=overprovisioning,
-            )
-        elif platform == "openssd":
-            device = openssd_device(
-                spec["logical_pages"], mode=mode,
-                overprovisioning=overprovisioning,
-            )
-        else:
-            raise ValueError(f"unknown platform {platform!r}")
-        engine = build_engine(
-            device, scheme=scheme,
-            buffer_pages=spec["logical_pages"], eviction=eviction,
-            **spec.get("engine_kwargs", {}),
-        )
+        session = open_session(SessionConfig(
+            backend="noftl",
+            logical_pages=spec["logical_pages"],
+            platform=platform,
+            mode=mode,
+            overprovisioning=overprovisioning,
+            scheme=scheme,
+            buffer_pages=spec["logical_pages"],
+            eviction=eviction,
+            engine=dict(spec.get("engine_kwargs", {})),
+            seed=seed,
+        ))
+        engine = session.engine
         collector = UpdateSizeCollector()
         engine.add_flush_observer(collector)
         trace = TraceRecorder()
@@ -168,10 +165,7 @@ class BenchRunner:
             result=result,
             collector=collector,
             trace=trace,
-            loaded_pages=sum(
-                engine._region_cursors[region.name] - region.lpn_start
-                for region in device.regions
-            ),
+            loaded_pages=engine.loaded_pages(),
         )
         self._cache[key] = run
         return run

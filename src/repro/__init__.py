@@ -18,26 +18,35 @@ to In-Place Appends: Revisiting Out-of-Place Updates on Flash"
 * :mod:`repro.analysis` — update-size CDFs, amplification formulas,
   report rendering;
 * :mod:`repro.testbed` — factories for the paper's two platforms (the
-  16-chip flash emulator and the OpenSSD Jasmine board).
+  16-chip flash emulator and the OpenSSD Jasmine board);
+* :mod:`repro.session` — the unified construction API: one typed
+  :class:`~repro.session.SessionConfig` plus
+  :func:`~repro.session.open_session` builds the whole stack;
+* :mod:`repro.perfkit` — ``repro bench``: the deterministic hot-path
+  microbenchmark harness with CI regression gating.
 
 Quick start::
 
+    from repro import SessionConfig, open_session
     from repro.core import NxMScheme
-    from repro.testbed import build_engine, emulator_device, load_scaled
+    from repro.testbed import load_scaled
     from repro.workloads import TPCB
 
-    device = emulator_device(logical_pages=1000)
-    engine = build_engine(device, scheme=NxMScheme(2, 4))
-    driver = load_scaled(engine, TPCB(), buffer_fraction=0.2)
+    session = open_session(SessionConfig(
+        logical_pages=1000, scheme=NxMScheme(2, 4)))
+    driver = load_scaled(session.engine, TPCB(), buffer_fraction=0.2)
     result = driver.run(5000)
     print(result.engine_summary["device"])
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from . import analysis, core, errors, flash, ftl, ipl, storage, testbed, workloads
+from .session import Session, SessionConfig, open_device, open_session
 
 __all__ = [
+    "Session",
+    "SessionConfig",
     "__version__",
     "analysis",
     "core",
@@ -45,6 +54,8 @@ __all__ = [
     "flash",
     "ftl",
     "ipl",
+    "open_device",
+    "open_session",
     "storage",
     "testbed",
     "workloads",

@@ -50,7 +50,8 @@ from .telemetry.export import (
     prometheus_text,
     read_jsonl_trace,
 )
-from .testbed import BACKENDS, build_engine, load_scaled, make_device
+from .session import SessionConfig, open_session
+from .testbed import BACKENDS, load_scaled
 from .workloads import (
     LinkBench,
     TATP,
@@ -84,18 +85,20 @@ def parse_scheme(text: str) -> NxMScheme:
 def _build(args, scheme, record_trace=False, telemetry=None):
     workload_cls, logical_pages, log_capacity = WORKLOADS[args.workload]
     mode = IPAMode.PSLC if args.mode == "pslc" else IPAMode.ODD_MLC
-    device = make_device(
-        getattr(args, "backend", "noftl"),
-        logical_pages,
+    session = open_session(SessionConfig(
+        backend=getattr(args, "backend", "noftl"),
+        logical_pages=logical_pages,
         platform=args.platform,
         mode=mode,
         shards=getattr(args, "shards", 4),
-    )
-    engine = build_engine(
-        device, scheme=scheme, buffer_pages=logical_pages,
-        eviction=args.eviction, log_capacity_bytes=log_capacity,
+        scheme=scheme,
+        buffer_pages=logical_pages,
+        eviction=args.eviction,
+        engine=dict(log_capacity_bytes=log_capacity),
         telemetry=telemetry,
-    )
+        seed=args.seed,
+    ))
+    engine = session.engine
     collector = UpdateSizeCollector()
     engine.add_flush_observer(collector)
     recorder = TraceRecorder()
@@ -379,6 +382,58 @@ def cmd_loadtest(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """``repro bench``: the deterministic microbenchmark harness.
+
+    Default mode runs the registered benches and writes a canonical
+    ``BENCH_*.json`` result (wall-clock stats plus simulated-count
+    invariants).  ``--compare BASELINE CURRENT`` instead checks a
+    result file against a committed baseline: counts must match
+    exactly, wall-clock may regress at most ``--threshold``; exits 1
+    on any finding (the CI regression gate).
+    """
+    from .perfkit import (
+        REGISTRY,
+        default_output_name,
+        load_results,
+        render_comparison,
+        render_report,
+        run_benchmarks,
+        write_results,
+    )
+
+    if args.compare:
+        baseline_path, current_path = args.compare
+        baseline = load_results(baseline_path)
+        current = load_results(current_path)
+        table, problems = render_comparison(baseline, current, args.threshold)
+        print(table)
+        for problem in problems:
+            print(f"REGRESSION: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print("comparison passed: counts exact, wall-clock within threshold")
+        return 0
+    if args.list:
+        for name, bench in REGISTRY.items():
+            print(f"{name:18} {bench.description}")
+        return 0
+    names = [part for part in args.only.split(",") if part] if args.only else None
+    annotations = {}
+    for item in args.annotate:
+        key, sep, value = item.partition("=")
+        if not sep:
+            print(f"bad --annotate {item!r}; use key=value", file=sys.stderr)
+            return 1
+        annotations[key] = value
+    payload = run_benchmarks(names, quick=args.quick, annotations=annotations)
+    print(render_report(payload))
+    out = args.out or default_output_name(args.quick)
+    target = write_results(payload, out)
+    print(f"wrote {len(payload['benches'])} bench results to {target}")
+    return 0
+
+
 def cmd_lint(args) -> int:
     """``repro lint``: run the iplint invariant rules over source paths.
 
@@ -553,6 +608,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ops-per-txn", type=int, default=0,
                    help="[txn level] ops per transaction (0 = profile default)")
     p.set_defaults(func=cmd_loadtest)
+
+    p = sub.add_parser("bench", help="run the perfkit microbenchmark harness")
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke mode: fewer timed repeats, same workloads "
+                        "(counts stay comparable to a full baseline)")
+    p.add_argument("--only", default="",
+                   help="comma-separated bench names (default: all)")
+    p.add_argument("--out", default=None,
+                   help="result path (default: BENCH_baseline.json, or "
+                        "BENCH_quick.json with --quick)")
+    p.add_argument("--annotate", action="append", default=[],
+                   metavar="KEY=VALUE",
+                   help="record a key=value annotation in the result file "
+                        "(repeatable)")
+    p.add_argument("--list", action="store_true",
+                   help="list the registered benches and exit")
+    p.add_argument("--compare", nargs=2, metavar=("BASELINE", "CURRENT"),
+                   default=None,
+                   help="compare two result files instead of running")
+    p.add_argument("--threshold", type=float, default=0.30,
+                   help="allowed wall-clock regression fraction (default 0.30)")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("lint", help="run the iplint invariant linter")
     p.add_argument("paths", nargs="*",

@@ -16,7 +16,7 @@ class FlashChip:
     serialization and inter-chip parallelism.
     """
 
-    __slots__ = ("blocks", "busy_until", "busy_time_us")
+    __slots__ = ("blocks", "busy_until", "busy_time_us", "on_occupy")
 
     def __init__(self, geometry: FlashGeometry, endurance: int | None = None) -> None:
         self.blocks = [
@@ -33,6 +33,9 @@ class FlashChip:
         #: Accumulated command time on this pipeline, for utilization
         #: reporting (exported as a per-chip telemetry gauge).
         self.busy_time_us = 0.0
+        #: Invalidation hook the owning array installs so it can cache
+        #: the occupancy tuple between pipeline advances.
+        self.on_occupy = None
 
     def __len__(self) -> int:
         return len(self.blocks)
@@ -48,6 +51,8 @@ class FlashChip:
         end = start + duration_us
         self.busy_until = end
         self.busy_time_us += duration_us
+        if self.on_occupy is not None:
+            self.on_occupy()
         return end
 
     def charge(self, duration_us: float) -> None:

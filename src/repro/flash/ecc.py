@@ -36,12 +36,24 @@ for _v in range(256):
 #: Bytes one encoded code occupies (3 position-XOR bytes + 1 parity byte).
 CODE_SIZE = 4
 
+#: A still-erased (never programmed) code slot.
+ERASED_CODE = b"\xff" * CODE_SIZE
 
-def compute_code(data: bytes) -> bytes:
+#: Codes of small segments (delta records re-encode the same few byte
+#: patterns over and over) are memoized; the bound keeps the cache from
+#: growing past a few hundred KiB on pathological workloads.
+_CODE_CACHE: dict[bytes, bytes] = {}
+_CODE_CACHE_SEGMENT_LIMIT = 512
+_CODE_CACHE_MAX_ENTRIES = 4096
+
+
+def compute_code_reference(data: bytes) -> bytes:
     """Hamming-style code of ``data``: position-XOR (24 bits) + parity.
 
     24 position bits support regions up to 2 MiB, far beyond any flash
-    page; the fixed size keeps OOB layout simple.
+    page; the fixed size keeps OOB layout simple.  This is the direct
+    (uncached) computation — the equivalence oracle for
+    :func:`compute_code`.
     """
     acc = 0
     parity = 0
@@ -52,6 +64,19 @@ def compute_code(data: bytes) -> bytes:
                 parity ^= 1
             acc ^= _BIT_XOR[value]
     return acc.to_bytes(3, "big") + bytes([parity])
+
+
+def compute_code(data: bytes) -> bytes:
+    """Code of ``data``, memoized for small (delta-record-sized) inputs."""
+    if len(data) > _CODE_CACHE_SEGMENT_LIMIT:
+        return compute_code_reference(data)
+    key = bytes(data)
+    code = _CODE_CACHE.get(key)
+    if code is None:
+        code = compute_code_reference(key)
+        if len(_CODE_CACHE) < _CODE_CACHE_MAX_ENTRIES:
+            _CODE_CACHE[key] = code
+    return code
 
 
 def correct(data: bytearray, code: bytes) -> int:
@@ -135,7 +160,7 @@ class SegmentedEcc:
         for index in range(programmed_segments):
             seg = self.segments[index]
             code = oob[self.oob_offset(index) : self.oob_offset(index) + CODE_SIZE]
-            if all(b == 0xFF for b in code):
+            if code == ERASED_CODE:
                 continue
             region = bytearray(page_data[seg.offset : seg.offset + seg.length])
             corrected += correct(region, code)

@@ -61,10 +61,16 @@ class FlashGeometry:
                 raise AddressError(f"geometry field {name!r} must be positive")
         if self.oob_size < 0:
             raise AddressError("oob_size must be non-negative")
+        # Derived values and the PPN <-> address cache are hot on the
+        # mapping paths; precompute them once (the dataclass is frozen,
+        # so object.__setattr__ is the sanctioned backdoor).
+        object.__setattr__(self, "_pages_per_chip", self.blocks_per_chip * self.pages_per_block)
+        object.__setattr__(self, "_total_pages", self.chips * self._pages_per_chip)
+        object.__setattr__(self, "_address_cache", {})
 
     @property
     def pages_per_chip(self) -> int:
-        return self.blocks_per_chip * self.pages_per_block
+        return self._pages_per_chip
 
     @property
     def total_blocks(self) -> int:
@@ -72,7 +78,7 @@ class FlashGeometry:
 
     @property
     def total_pages(self) -> int:
-        return self.chips * self.pages_per_chip
+        return self._total_pages
 
     @property
     def capacity_bytes(self) -> int:
@@ -95,18 +101,27 @@ class FlashGeometry:
         """Flatten a physical address into a physical page number."""
         self.check(address)
         return (
-            address.chip * self.pages_per_chip
+            address.chip * self._pages_per_chip
             + address.block * self.pages_per_block
             + address.page
         )
 
     def address(self, ppn: int) -> PhysicalAddress:
-        """Inverse of :meth:`ppn`."""
-        if not 0 <= ppn < self.total_pages:
-            raise AddressError(f"ppn {ppn} out of range [0, {self.total_pages})")
-        chip, rest = divmod(ppn, self.pages_per_chip)
+        """Inverse of :meth:`ppn`.
+
+        Addresses are immutable, so each PPN's object is built once and
+        cached — mapping lookups resolve to a dict hit.
+        """
+        cached = self._address_cache.get(ppn)
+        if cached is not None:
+            return cached
+        if not 0 <= ppn < self._total_pages:
+            raise AddressError(f"ppn {ppn} out of range [0, {self._total_pages})")
+        chip, rest = divmod(ppn, self._pages_per_chip)
         block, page = divmod(rest, self.pages_per_block)
-        return PhysicalAddress(chip, block, page)
+        address = PhysicalAddress(chip, block, page)
+        self._address_cache[ppn] = address
+        return address
 
     def check(self, address: PhysicalAddress) -> None:
         """Raise :class:`AddressError` unless ``address`` is in range."""

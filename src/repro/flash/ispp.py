@@ -76,12 +76,17 @@ def first_violation(old: bytes, new: bytes) -> int | None:
 _ERASED_CACHE: dict[int, bytes] = {}
 
 
-def is_erased(data: bytes) -> bool:
-    """Whether every cell of ``data`` is in the erased (uncharged) state."""
-    length = len(data)
+def erased_image(length: int) -> bytes:
+    """The all-``0xFF`` reference image of ``length`` cells (cached)."""
     reference = _ERASED_CACHE.get(length)
     if reference is None:
         reference = b"\xff" * length
         if length <= 65536:
             _ERASED_CACHE[length] = reference
-    return bytes(data) == reference
+    return reference
+
+
+def is_erased(data: bytes) -> bool:
+    """Whether every cell of ``data`` is in the erased (uncharged) state."""
+    # bytes/bytearray comparison happens at C speed without copying.
+    return data == erased_image(len(data))

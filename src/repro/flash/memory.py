@@ -80,6 +80,11 @@ class FlashMemory:
             enforce_program_order = geometry.cell_type is not CellType.SLC
         self.enforce_program_order = enforce_program_order
         self.chips = [FlashChip(geometry, endurance=endurance) for _ in range(geometry.chips)]
+        #: Cached occupancy tuple, rebuilt lazily after any chip's
+        #: pipeline advances (the chips call back on ``occupy``).
+        self._occupancy_cache: tuple[float, ...] | None = None
+        for chip in self.chips:
+            chip.on_occupy = self._invalidate_occupancy
         self.stats = FlashStats()
         #: Telemetry handle (``repro.telemetry.Telemetry``); ``None``
         #: keeps the command path free of any event work.
@@ -109,14 +114,23 @@ class FlashMemory:
         """Whether the page may receive ISPP appends (LSB pages only)."""
         return self.page_kind(address) is PageKind.LSB
 
+    def _invalidate_occupancy(self) -> None:
+        self._occupancy_cache = None
+
     def occupancy(self) -> tuple[float, ...]:
         """Per-chip pipeline ``busy_until`` times, in chip order.
 
         The host-side scheduler (:mod:`repro.hostq`) reads this to find
         idle dies before dispatching: a chip whose entry is at or below
         the current simulated time can start a command immediately.
+        The tuple is cached between pipeline advances — the scheduler
+        polls occupancy far more often than commands execute.
         """
-        return tuple(chip.busy_until for chip in self.chips)
+        cached = self._occupancy_cache
+        if cached is None:
+            cached = tuple(chip.busy_until for chip in self.chips)
+            self._occupancy_cache = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Commands
@@ -131,7 +145,10 @@ class FlashMemory:
             self.crashkit.site("flash.read")
         if length is None:
             length = self.geometry.page_size - offset
-        data = bytes(page.data[offset : offset + length])
+        if offset == 0 and length == len(page.data):
+            data = bytes(page.data)
+        else:
+            data = bytes(page.data[offset : offset + length])
         kind = self.page_kind(address)
         latency = self.latency.read(self.geometry.cell_type, kind, length)
         self.stats.page_reads += 1

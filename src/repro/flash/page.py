@@ -81,7 +81,8 @@ class FlashPage:
         """
         if length <= 0 or offset < 0 or offset + length > self._page_size:
             return False
-        return ispp.is_erased(self.data[offset : offset + length])
+        # bytearray.startswith with bounds compares in place — no copy.
+        return self.data.startswith(ispp.erased_image(length), offset, offset + length)
 
     def is_erased(self) -> bool:
         """True when no data cell carries charge."""
@@ -97,9 +98,16 @@ class FlashPage:
         leaves the page unmodified.
         """
         self._check_range(offset, len(data), self._page_size, "data")
-        current = bytes(self.data[offset : offset + len(data)])
-        result = ispp.program_result(current, data)  # raises on violation
-        self.data[offset : offset + len(data)] = result
+        if not self.programmed:
+            # Every cell is still erased (``program_torn`` flips the flag
+            # whenever any charge lands), so any image is legal and the
+            # ISPP AND degenerates to the image itself — the bulk path
+            # for first programs, byte-identical to the general one.
+            self.data[offset : offset + len(data)] = data
+        else:
+            current = bytes(self.data[offset : offset + len(data)])
+            result = ispp.program_result(current, data)  # raises on violation
+            self.data[offset : offset + len(data)] = result
         self.programmed = True
         self.program_count += 1
 

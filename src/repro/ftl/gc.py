@@ -10,6 +10,7 @@ bench.
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable
 
 from .mapping import BlockKey, PageMapping
@@ -25,17 +26,21 @@ def greedy(
 ) -> BlockKey | None:
     """Pick the block with the fewest valid pages (ties: least worn).
 
-    Returns ``None`` when no candidate holds any invalid page — erasing
-    a fully-valid block reclaims nothing.
+    Returns ``None`` when there is no candidate.  Selection runs as one
+    heap pass over ``(valid, wear, position)`` ranks; the position
+    component keeps the tie-break identical to the original first-wins
+    scan, so victim choices (and therefore every simulated counter)
+    are unchanged.
     """
-    best: BlockKey | None = None
-    best_key: tuple[int, int] | None = None
-    for key in candidates:
-        valid = mapping.valid_count(key)
-        rank = (valid, erase_counts.get(key, 0))
-        if best_key is None or rank < best_key:
-            best, best_key = key, rank
-    return best
+    if not candidates:
+        return None
+    valid_count = mapping.valid_count
+    wear = erase_counts.get
+    ranks = [
+        (valid_count(key), wear(key, 0), position)
+        for position, key in enumerate(candidates)
+    ]
+    return candidates[heapq.nsmallest(1, ranks)[0][2]]
 
 
 def fifo(

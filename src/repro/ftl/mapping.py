@@ -20,6 +20,7 @@ class PageMapping:
 
     def __init__(self, geometry: FlashGeometry) -> None:
         self._geometry = geometry
+        self._pages_per_chip = geometry.pages_per_chip
         self._l2p: dict[int, int] = {}
         self._p2l: dict[int, int] = {}
         self._valid_per_block: dict[BlockKey, int] = {}
@@ -36,6 +37,17 @@ class PageMapping:
         if ppn is None:
             raise MappingError(f"logical page {lpn} has never been written")
         return self._geometry.address(ppn)
+
+    def chip_of(self, lpn: int) -> int | None:
+        """Chip currently hosting a logical page, or ``None`` if unmapped.
+
+        The scheduler's read-channel hint: one dict probe plus integer
+        division, with no :class:`PhysicalAddress` construction.
+        """
+        ppn = self._l2p.get(lpn)
+        if ppn is None:
+            return None
+        return ppn // self._pages_per_chip
 
     def reverse(self, address: PhysicalAddress) -> int | None:
         """Logical page stored at a physical address, or None if stale/free."""

@@ -26,6 +26,7 @@ from ..errors import (
     OutOfSpaceError,
     RegionError,
 )
+from ..flash import ispp
 from ..flash.constants import CellType
 from ..flash.geometry import PhysicalAddress
 from ..flash.memory import FlashMemory
@@ -290,9 +291,7 @@ class NoFTL:
         if op == "write":
             region = self.region_of(lpn)
             return region.peek_chip()
-        if lpn not in self.mapping:
-            return None
-        return self.mapping.lookup(lpn).chip
+        return self.mapping.chip_of(lpn)
 
     # ------------------------------------------------------------------
     # Stats / telemetry (the FlashDevice reporting surface)
@@ -392,7 +391,7 @@ class NoFTL:
             # The spare area travels with the page: ECC codes protect
             # content that is migrated verbatim, so they stay valid.
             oob = self.flash.page_at(address).read_oob()
-            if any(b != 0xFF for b in oob):
+            if not ispp.is_erased(oob):
                 self.flash.program_oob(target, oob)
             if self.crashkit is not None:
                 # Victim migration window: the copy landed but the old

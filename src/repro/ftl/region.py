@@ -73,6 +73,11 @@ class Region:
         self.lpn_end = lpn_start + config.logical_pages  # exclusive
         self.blocks = list(blocks)
         self.free_blocks: deque[BlockKey] = deque(blocks)
+        #: Free blocks per chip — the O(1) probe behind
+        #: :meth:`peek_chip`; maintained by the two free-list mutators.
+        self._free_per_chip: dict[int, int] = {}
+        for chip, _ in blocks:
+            self._free_per_chip[chip] = self._free_per_chip.get(chip, 0) + 1
         #: Erased pages still available for allocation (free blocks plus
         #: the unconsumed tails of active blocks).  This — not the free
         #: block count — drives the GC trigger, so regions whose blocks
@@ -154,12 +159,13 @@ class Region:
         advancing it.  ``None`` when the region has no erased page left
         (the controller would GC first, possibly on any chip).
         """
+        pages_per_block = self.geometry.pages_per_block
         for step in range(len(self._chips)):
             chip = self._chips[(self._chip_cursor + step) % len(self._chips)]
             active = self._active.get(chip)
-            if active is not None and self._cursor_address(*active) is not None:
+            if active is not None and active[1] < pages_per_block:
                 return chip
-            if any(key[0] == chip for key in self.free_blocks):
+            if self._free_per_chip.get(chip, 0) > 0:
                 return chip
         return None
 
@@ -188,9 +194,12 @@ class Region:
         return PhysicalAddress(key[0], key[1], cursor)
 
     def _take_free_block(self, chip: int) -> BlockKey | None:
+        if self._free_per_chip.get(chip, 0) <= 0:
+            return None
         for _ in range(len(self.free_blocks)):
             key = self.free_blocks.popleft()
             if key[0] == chip:
+                self._free_per_chip[chip] -= 1
                 return key
             self.free_blocks.append(key)
         return None
@@ -254,6 +263,7 @@ class Region:
     def release_block(self, key: BlockKey) -> None:
         """Return an erased block to the free list."""
         self.free_blocks.append(key)
+        self._free_per_chip[key[0]] = self._free_per_chip.get(key[0], 0) + 1
         self.erased_available += self.usable_pages_per_block
 
     def needs_gc(self) -> bool:

@@ -27,8 +27,8 @@ from dataclasses import dataclass, field, replace
 from ..analysis.cdf import CDF, sample_percentile
 from ..analysis.report import format_table
 from ..errors import ReproError
+from ..session import SessionConfig, open_device
 from ..telemetry.metrics import LATENCY_BUCKETS_US, MetricsRegistry
-from ..testbed import make_device
 from ..workloads.sessions import PROFILES
 from .clients import ClosedLoopClient, OpenLoopArrivals, build_sessions
 from .groupcommit import GroupCommitGate, GroupCommitStats
@@ -252,9 +252,10 @@ def run_loadtest(config: LoadTestConfig, registry: MetricsRegistry | None = None
     config.validate()
     if registry is None:
         registry = MetricsRegistry()
-    device = make_device(
-        config.backend, config.logical_pages, shards=config.shards
-    )
+    device = open_device(SessionConfig(
+        backend=config.backend, logical_pages=config.logical_pages,
+        shards=config.shards, seed=config.seed,
+    ))
     profile = PROFILES[config.profile]
     executor = DeviceExecutor(device, profile.delta_area_bytes)
     executor.prefill(config.logical_pages)

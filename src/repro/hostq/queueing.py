@@ -131,12 +131,14 @@ class SubmissionQueue:
         head-of-line bypass: a request behind a busy die does not stall
         the requests behind it that target free dies.
         """
-        any_free = any(busy <= now for busy in occupancy)
+        any_free: bool | None = None  # computed lazily: most hints are concrete
         for index, request in enumerate(self._pending):
             if request.lpn >= 0 and request.lpn in self._inflight_lpns:
                 continue
             channel = channel_hint(request)
             if channel is None:
+                if any_free is None:
+                    any_free = any(busy <= now for busy in occupancy)
                 if not any_free:
                     continue
             elif occupancy[channel] > now:

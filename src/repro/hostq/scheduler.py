@@ -150,7 +150,9 @@ class HostScheduler:
             latency = self.executor(request, now)
             self.schedule(now + latency, self._completion_action(request))
         if self.queue.has_pending():
-            wake = self.queue.next_channel_event(now, self.device.occupancy())
+            # ``occupancy`` is the snapshot the failed pick just used —
+            # no command ran since, so it is still current.
+            wake = self.queue.next_channel_event(now, occupancy)
             if wake is not None and (self._next_poll is None or wake < self._next_poll):
                 self._next_poll = wake
                 self.schedule(wake, self._poll)

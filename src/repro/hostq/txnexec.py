@@ -54,7 +54,7 @@ from ..storage.clock import DeferredClock
 from ..storage.page_layout import HEADER_SIZE, SlottedPage
 from ..storage.program import CommandKind, DeviceCommand
 from ..telemetry.metrics import LATENCY_BUCKETS_US, MetricsRegistry
-from ..testbed import build_engine, make_device
+from ..session import SessionConfig, open_session
 from ..workloads.sessions import PROFILES, ClientSession
 from .clients import ClosedLoopClient
 from .groupcommit import GroupCommitGate
@@ -597,7 +597,6 @@ def run_txn_loadtest(
     config.validate()
     if registry is None:
         registry = MetricsRegistry()
-    device = make_device(config.backend, config.logical_pages, shards=config.shards)
     profile = dataclass_replace(
         PROFILES[config.profile], ops_per_txn=config.effective_ops_per_txn()
     )
@@ -605,14 +604,18 @@ def run_txn_loadtest(
     buffer_pages = max(
         config.clients + 2, int(config.logical_pages * config.buffer_fraction)
     )
-    engine = build_engine(
-        device,
+    session = open_session(SessionConfig(
+        backend=config.backend,
+        logical_pages=config.logical_pages,
+        shards=config.shards,
         scheme=config.scheme,
         buffer_pages=buffer_pages,
         eviction=config.eviction,
         clock=clock,
-        group_commit=config.group_commit,
-    )
+        seed=config.seed,
+        engine=dict(group_commit=config.group_commit),
+    ))
+    device, engine = session.device, session.engine
     # Load phase: materialize every page as a formatted, empty slotted
     # page (erased delta tail) so engine fetches decode cleanly.
     area = config.scheme.area_size

@@ -55,6 +55,9 @@ _SUPPRESS_RE = re.compile(r"#\s*iplint:\s*(disable|disable-file)=([A-Za-z0-9_,\s
 #: are the product, not an accident.
 PATH_EXEMPTIONS: dict[str, tuple[str, ...]] = {
     "exception-discipline": ("repro.crashkit.harness",),
+    # The benchmark harness *measures* wall time; its readings never
+    # feed back into a simulation (runs replay identically regardless).
+    "determinism": ("repro.perfkit",),
 }
 
 

@@ -1,0 +1,60 @@
+"""repro.perfkit — the deterministic microbenchmark harness.
+
+``repro bench`` times the stack's hot paths — ISPP page programming,
+the delta codec + ECC, buffer-pool fetch/evict, WAL group commit,
+NoFTL mapping/GC, the hostq event loop, and the two end-to-end load
+tests — and emits canonical ``BENCH_*.json`` results: per-bench
+wall-clock statistics *plus* simulated-count invariants.  The counts
+pin the simulation (they must be byte-equal across repeats, machines
+and Python versions); the wall numbers measure the implementation and
+gate regressions in CI via :func:`compare_results`.
+
+Typical use::
+
+    python -m repro bench --out BENCH_baseline.json       # full baseline
+    python -m repro bench --quick --out BENCH_quick.json  # CI smoke
+    python -m repro bench --compare BENCH_baseline.json BENCH_quick.json
+
+Programmatic::
+
+    from repro.perfkit import run_benchmarks, compare_results
+    payload = run_benchmarks(quick=True)
+    problems = compare_results(baseline_payload, payload)
+"""
+
+from .registry import REGISTRY, Bench, all_benches, get_bench, register
+from .benches import register_default_benches
+from .compare import DEFAULT_THRESHOLD, compare_results, render_comparison
+from .runner import (
+    BenchResult,
+    SCHEMA,
+    default_output_name,
+    load_results,
+    render_report,
+    run_bench,
+    run_benchmarks,
+    write_results,
+)
+
+__all__ = [
+    "Bench",
+    "BenchResult",
+    "DEFAULT_THRESHOLD",
+    "REGISTRY",
+    "SCHEMA",
+    "all_benches",
+    "compare_results",
+    "default_output_name",
+    "get_bench",
+    "load_results",
+    "register",
+    "register_default_benches",
+    "render_comparison",
+    "render_report",
+    "run_bench",
+    "run_benchmarks",
+    "write_results",
+]
+
+if not REGISTRY:
+    register_default_benches()

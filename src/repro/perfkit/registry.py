@@ -1,0 +1,70 @@
+"""The microbenchmark registry: named, self-describing hot-path benches.
+
+A bench is three callables sharing a *state* object:
+
+* ``setup(quick)`` builds the workload state — devices, pools, request
+  lists — outside the timed region.  ``quick`` selects the CI smoke
+  variant; benches keep their **simulated workload identical** in both
+  variants (only the runner's repeat count changes), so the invariant
+  counts a quick CI run produces are comparable 1:1 against a committed
+  full baseline.
+* ``run(state)`` is the timed region; it returns the number of logical
+  operations it performed (the denominator of ``ops_per_sec``).
+* ``counts(state)`` reports the bench's *simulated-count invariants* —
+  deterministic integers/floats (program counts, GC erases, event-loop
+  totals, CRCs of produced bytes) that must be byte-equal across
+  repeats, runs, machines and Python versions.  The runner enforces the
+  across-repeat half of that; CI compares the rest against the
+  committed baseline.
+
+Wall-clock numbers measure the *implementation*; the counts pin the
+*simulation*.  Together they make a hot-path optimization checkable:
+the counts must not move, the wall-clock should.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..errors import ReproError
+
+__all__ = ["Bench", "REGISTRY", "all_benches", "get_bench", "register"]
+
+
+@dataclass(frozen=True)
+class Bench:
+    """One registered microbenchmark (see module docstring)."""
+
+    name: str
+    description: str
+    setup: Callable[[bool], Any]
+    run: Callable[[Any], int]
+    counts: Callable[[Any], dict]
+
+
+#: name -> Bench, in registration order (the report order).
+REGISTRY: dict[str, Bench] = {}
+
+
+def register(bench: Bench) -> Bench:
+    """Add a bench to the registry; duplicate names are a bug."""
+    if bench.name in REGISTRY:
+        raise ReproError(f"bench {bench.name!r} registered twice")
+    REGISTRY[bench.name] = bench
+    return bench
+
+
+def all_benches() -> list[Bench]:
+    """Every registered bench, in registration order."""
+    return list(REGISTRY.values())
+
+
+def get_bench(name: str) -> Bench:
+    """Look up one bench; unknown names raise :class:`ReproError`."""
+    try:
+        return REGISTRY[name]
+    except KeyError as exc:
+        raise ReproError(
+            f"unknown bench {name!r}; choose from {', '.join(sorted(REGISTRY))}"
+        ) from exc

@@ -1,0 +1,200 @@
+"""The bench runner: time the registry, emit canonical ``BENCH_*.json``.
+
+For every bench and every repeat the runner rebuilds the state from
+scratch (``setup`` is untimed), times one ``run``, and collects the
+bench's simulated-count invariants.  Counts must be identical across
+repeats — a bench whose counts drift between repeats is nondeterministic
+and fails the run immediately, which is the whole point: wall-clock
+numbers are only trustworthy over a simulation that replays exactly.
+
+The emitted payload is the repo's canonical benchmark result format::
+
+    {
+      "schema": "repro-perfkit/1",
+      "repro_version": "1.0.0",
+      "quick": false,
+      "annotations": {"...": "..."},
+      "benches": {
+        "<name>": {
+          "description": "...",
+          "repeats": 3,
+          "ops": 4000,
+          "wall_us": [<per-repeat wall microseconds>],
+          "best_us": ..., "mean_us": ..., "ops_per_sec": ...,
+          "counts": {"<invariant>": <exact value>, ...}
+        }
+      }
+    }
+
+``counts`` compare exactly across machines; ``wall_us`` and friends are
+measurements of *this* machine and compare under a threshold (see
+:mod:`repro.perfkit.compare`).
+
+This module is the one place in ``src/repro`` allowed to read the wall
+clock (``PATH_EXEMPTIONS`` waives the determinism lint rule for
+``repro.perfkit``): measuring wall time is its purpose, and the readings
+never feed back into any simulation.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from .. import __version__
+from ..analysis.report import format_table
+from ..errors import ReproError
+from .registry import Bench, all_benches, get_bench
+
+__all__ = [
+    "BenchResult",
+    "SCHEMA",
+    "default_output_name",
+    "load_results",
+    "render_report",
+    "run_bench",
+    "run_benchmarks",
+    "write_results",
+]
+
+SCHEMA = "repro-perfkit/1"
+
+#: Timed repeats per bench (full / quick runs).
+REPEATS = 3
+QUICK_REPEATS = 2
+
+
+@dataclass
+class BenchResult:
+    """One bench's measurements: wall stats plus invariant counts."""
+
+    name: str
+    description: str
+    repeats: int
+    ops: int
+    wall_us: list[float]
+    counts: dict
+
+    @property
+    def best_us(self) -> float:
+        return min(self.wall_us)
+
+    @property
+    def mean_us(self) -> float:
+        return sum(self.wall_us) / len(self.wall_us)
+
+    @property
+    def ops_per_sec(self) -> float:
+        """Throughput at the best repeat (the least-noisy sample)."""
+        return self.ops / (self.best_us / 1e6) if self.best_us > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON shape of one bench entry in a ``BENCH_*.json`` payload."""
+        return {
+            "description": self.description,
+            "repeats": self.repeats,
+            "ops": self.ops,
+            "wall_us": [round(us, 1) for us in self.wall_us],
+            "best_us": round(self.best_us, 1),
+            "mean_us": round(self.mean_us, 1),
+            "ops_per_sec": round(self.ops_per_sec, 1),
+            "counts": self.counts,
+        }
+
+
+def run_bench(bench: Bench, quick: bool = False) -> BenchResult:
+    """Run one bench: fresh state per repeat, counts must replay."""
+    repeats = QUICK_REPEATS if quick else REPEATS
+    wall_us: list[float] = []
+    ops = 0
+    counts: dict | None = None
+    for __ in range(repeats):
+        state = bench.setup(quick)
+        t0 = time.perf_counter()
+        ops = bench.run(state)
+        t1 = time.perf_counter()
+        wall_us.append((t1 - t0) * 1e6)
+        repeat_counts = bench.counts(state)
+        if counts is None:
+            counts = repeat_counts
+        elif repeat_counts != counts:
+            raise ReproError(
+                f"bench {bench.name!r} is nondeterministic: counts changed "
+                f"between repeats ({counts} != {repeat_counts})"
+            )
+    assert counts is not None
+    return BenchResult(
+        name=bench.name, description=bench.description, repeats=repeats,
+        ops=ops, wall_us=wall_us, counts=counts,
+    )
+
+
+def run_benchmarks(
+    names: Iterable[str] | None = None,
+    quick: bool = False,
+    annotations: dict[str, str] | None = None,
+) -> dict:
+    """Run the selected benches (default: all); returns the payload."""
+    benches = (
+        [get_bench(name) for name in names] if names else all_benches()
+    )
+    if not benches:
+        raise ReproError("no benches registered")
+    return {
+        "schema": SCHEMA,
+        "repro_version": __version__,
+        "quick": quick,
+        "annotations": dict(annotations or {}),
+        "benches": {
+            bench.name: run_bench(bench, quick).to_dict() for bench in benches
+        },
+    }
+
+
+def render_report(payload: dict) -> str:
+    """The human-readable table ``repro bench`` prints."""
+    rows = [
+        [
+            name,
+            result["ops"],
+            result["best_us"] / 1000.0,
+            result["ops_per_sec"],
+            len(result["counts"]),
+        ]
+        for name, result in payload["benches"].items()
+    ]
+    mode = "quick" if payload.get("quick") else "full"
+    return format_table(
+        ["bench", "ops", "best [ms]", "ops/sec", "invariants"],
+        rows,
+        title=f"repro bench ({mode}, {len(rows)} benches)",
+    )
+
+
+def default_output_name(quick: bool) -> str:
+    """The canonical result filename at the repo root."""
+    return "BENCH_quick.json" if quick else "BENCH_baseline.json"
+
+
+def write_results(payload: dict, path: str | Path) -> Path:
+    """Persist one payload as canonical (sorted, indented) JSON."""
+    target = Path(path)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def load_results(path: str | Path) -> dict:
+    """Read a ``BENCH_*.json`` payload, checking the schema marker."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read bench results {path}: {exc}") from exc
+    if payload.get("schema") != SCHEMA:
+        raise ReproError(
+            f"{path} is not a perfkit result file "
+            f"(schema {payload.get('schema')!r}, expected {SCHEMA!r})"
+        )
+    return payload

@@ -143,8 +143,28 @@ class BufferPool:
     # Fetch / pin lifecycle
     # ------------------------------------------------------------------
 
+    def try_pin(self, lpn: int) -> Frame | None:
+        """Pin a resident page without any program machinery.
+
+        The hit fast path: identical counter updates and LRU touch to a
+        hitting :meth:`fetch_program`, but no generator is allocated.
+        Returns ``None`` on a miss — the caller falls back to the full
+        fetch path (which then accounts the fetch as a miss).
+        """
+        frame = self._frames.get(lpn)
+        if frame is None:
+            return None
+        self.stats.fetches += 1
+        self.stats.hits += 1
+        self._touch(lpn, frame)
+        frame.pin_count += 1
+        return frame
+
     def fetch(self, lpn: int, now: float) -> tuple[Frame, float]:
         """Pin a page, loading it on a miss; returns (frame, read latency)."""
+        frame = self.try_pin(lpn)
+        if frame is not None:
+            return frame, 0.0
         result, __ = run_program(self.fetch_program(lpn), now)
         return result
 

@@ -230,6 +230,11 @@ class StorageEngine:
 
     def pin(self, lpn: int) -> Frame:
         """Fetch and pin a page; foreground read latency hits the clock."""
+        frame = self.pool.try_pin(lpn)
+        if frame is not None:
+            # Buffer hit: zero latency, so no foreground-read accounting
+            # — exactly what pin_program does for a hitting fetch.
+            return frame
         return run_on_clock(self.pin_program(lpn), self._clock)
 
     def pin_program(self, lpn: int) -> StorageProgram:
@@ -244,6 +249,19 @@ class StorageEngine:
     def unpin(self, lpn: int, dirty: bool) -> None:
         """Release a pin taken via :meth:`pin`."""
         self.pool.unpin(lpn, dirty)
+
+    def loaded_pages(self) -> int:
+        """Pages allocated so far across all regions (the loaded DB size).
+
+        The paper's buffer-fraction protocol sizes the pool relative to
+        the *initial* DB size; this is the public accessor harnesses use
+        (``testbed.load_scaled``, the benchmark runner) instead of
+        reaching into the per-region allocation cursors.
+        """
+        return sum(
+            self._region_cursors[region.name] - region.lpn_start
+            for region in self.device.regions
+        )
 
     def allocate_page(self, table: Table) -> int:
         """Allocate and format the next page of a table's region.

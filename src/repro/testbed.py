@@ -34,7 +34,7 @@ from .ftl.device import FlashDevice
 from .ftl.noftl import single_region_device
 from .ftl.region import IPAMode
 from .ftl.sharded import ShardedDevice
-from .storage.engine import EngineConfig, StorageEngine
+from .storage.engine import StorageEngine
 from .workloads.base import Driver, Workload
 
 #: Storage backends selectable by name (CLI ``--backend``).
@@ -188,26 +188,15 @@ def make_device(
 ) -> FlashDevice:
     """Build a storage backend by name (the CLI's ``--backend`` entry).
 
-    ``noftl`` honours the platform choice (emulator or openssd);
-    ``blockssd`` mirrors the platform's flash technology behind a
-    black-box interface; ``sharded`` stripes over emulator-style shards.
+    Thin wrapper over :func:`repro.session.open_device` (the session
+    API owns backend dispatch); kept for the published surface.
     """
-    if backend == "noftl":
-        if platform == "openssd":
-            return openssd_device(logical_pages, mode=mode, telemetry=telemetry)
-        return emulator_device(logical_pages, telemetry=telemetry)
-    if backend == "blockssd":
-        if platform == "openssd":
-            return blockssd_device(
-                logical_pages, cell_type=CellType.MLC, mode=mode,
-                chips=8, serialize_io=True, telemetry=telemetry,
-            )
-        return blockssd_device(logical_pages, telemetry=telemetry)
-    if backend == "sharded":
-        if platform == "openssd":
-            raise ReproError("the sharded backend runs on the emulator platform only")
-        return sharded_device(logical_pages, shards=shards, telemetry=telemetry)
-    raise ReproError(f"unknown backend {backend!r}; choose from {', '.join(BACKENDS)}")
+    from .session import SessionConfig, open_device
+
+    return open_device(SessionConfig(
+        backend=backend, logical_pages=logical_pages, platform=platform,
+        mode=mode, shards=shards, telemetry=telemetry,
+    ))
 
 
 def build_engine(
@@ -221,20 +210,18 @@ def build_engine(
 ) -> StorageEngine:
     """An engine over ``device``; buffer defaults to half the device.
 
-    Pass a :class:`~repro.telemetry.Telemetry` instance to instrument
-    the whole stack (flash array, NoFTL, IPA manager, buffer pool), and
-    a :class:`~repro.storage.clock.Clock` to run the engine under an
+    Thin wrapper over :func:`repro.session.build_session_engine`.  Pass
+    a :class:`~repro.telemetry.Telemetry` instance to instrument the
+    whole stack (flash array, NoFTL, IPA manager, buffer pool), and a
+    :class:`~repro.storage.clock.Clock` to run the engine under an
     external event loop (``None`` keeps the standalone scalar clock).
     """
-    if buffer_pages is None:
-        buffer_pages = max(8, device.logical_pages // 2)
-    config = EngineConfig(
-        buffer_pages=buffer_pages,
-        scheme=scheme,
-        eviction=eviction,
-        **config_kwargs,
-    )
-    return StorageEngine(device, config, telemetry=telemetry, clock=clock)
+    from .session import SessionConfig, build_session_engine
+
+    return build_session_engine(device, SessionConfig(
+        scheme=scheme, buffer_pages=buffer_pages, eviction=eviction,
+        engine=dict(config_kwargs), telemetry=telemetry, clock=clock,
+    ))
 
 
 def load_scaled(
@@ -252,11 +239,7 @@ def load_scaled(
     """
     driver = Driver(engine, workload, seed=seed)
     driver.load()
-    loaded_pages = sum(
-        engine._region_cursors[region.name] - region.lpn_start
-        for region in engine.device.regions
-    )
-    target = max(min_buffer_pages, int(loaded_pages * buffer_fraction))
+    target = max(min_buffer_pages, int(engine.loaded_pages() * buffer_fraction))
     engine.pool.resize(target, engine.clock)
     engine.flush_all()
     driver._reset_measurements()
@@ -264,8 +247,9 @@ def load_scaled(
 
 
 def loaded_db_pages(engine: StorageEngine) -> int:
-    """Pages allocated by the load phase across all regions."""
-    return sum(
-        engine._region_cursors[region.name] - region.lpn_start
-        for region in engine.device.regions
-    )
+    """Pages allocated by the load phase across all regions.
+
+    Thin wrapper over :meth:`StorageEngine.loaded_pages`, kept for the
+    published surface.
+    """
+    return engine.loaded_pages()

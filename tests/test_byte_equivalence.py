@@ -1,0 +1,272 @@
+"""Byte-equivalence of the optimized hot paths against naive references.
+
+The optimization pass (bulk first-program installs, cached ECC codes,
+buffer-pool hit fast path, heap-based GC victim selection, telemetry
+short-circuits) carries one guarantee: **the simulation is unchanged** —
+every data byte, counter and decision is identical to the naive
+reference computation.  This suite pins that guarantee with explicit
+oracles, parametrized across SLC/MLC/pSLC modes and torn-write cases.
+"""
+
+import random
+
+import pytest
+
+from repro.flash.ecc import (
+    CODE_SIZE,
+    ERASED_CODE,
+    compute_code,
+    compute_code_reference,
+)
+from repro.flash.page import FlashPage
+from repro.ftl.gc import greedy
+from repro.ftl.region import IPAMode
+from repro.session import SessionConfig, open_device
+from repro.storage.buffer import BufferPool
+from repro.storage.page_layout import SlottedPage
+from repro.storage.program import run_program
+from repro.telemetry import Telemetry
+
+PAGE_SIZE = 512
+OOB_SIZE = 64
+
+
+# ----------------------------------------------------------------------
+# Cached ECC vs the naive per-byte reference
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("length", [1, 13, 128, 512, 513, 4096])
+def test_compute_code_matches_reference(length):
+    rng = random.Random(length)
+    for trial in range(8):
+        data = bytes(rng.randrange(0x100) for _ in range(length))
+        assert compute_code(data) == compute_code_reference(data)
+        # Second call exercises the memoized path on cacheable sizes.
+        assert compute_code(data) == compute_code_reference(data)
+
+
+def test_erased_code_constant_matches_reference():
+    assert ERASED_CODE == b"\xff" * CODE_SIZE
+    # An erased (all-0xFF) segment's *computed* code differs from the
+    # erased *stored* code — verify() skips on the stored bytes, never
+    # on content; pin both facts.
+    assert compute_code(b"\xff" * 16) == compute_code_reference(b"\xff" * 16)
+
+
+# ----------------------------------------------------------------------
+# First-program bulk install vs the per-byte ISPP AND
+# ----------------------------------------------------------------------
+
+def _reference_program(oracle: bytearray, data: bytes, offset: int) -> None:
+    """The naive model: every programmed cell ANDs with its old value."""
+    for index, value in enumerate(data):
+        old = oracle[offset + index]
+        assert value & ~old == value & ~old  # transitions validated below
+        oracle[offset + index] = old & value
+
+
+@pytest.mark.parametrize("seed", [3, 17, 91])
+def test_program_fast_path_matches_and_oracle(seed):
+    rng = random.Random(seed)
+    page = FlashPage(PAGE_SIZE, OOB_SIZE)
+    oracle = bytearray(b"\xff" * PAGE_SIZE)
+
+    first = bytes(rng.randrange(0x100) for _ in range(PAGE_SIZE))
+    page.program(first)  # bulk fast path: page was fully erased
+    _reference_program(oracle, first, 0)
+    assert bytes(page.data) == bytes(oracle)
+
+    # Follow-up programs (general path): only-clear images at offsets.
+    for __ in range(20):
+        offset = rng.randrange(PAGE_SIZE - 32)
+        current = bytes(page.data[offset : offset + 32])
+        image = bytes(b & rng.randrange(0x100) for b in current)
+        page.program(image, offset)
+        _reference_program(oracle, image, offset)
+        assert bytes(page.data) == bytes(oracle)
+
+
+def test_torn_program_with_no_landed_charge_keeps_fast_path_legal():
+    """decide()=False everywhere: no cell changes, the page stays erased,
+    and the next full program must still equal the plain image."""
+    page = FlashPage(PAGE_SIZE, OOB_SIZE)
+    image = bytes([0x5A]) * PAGE_SIZE
+    changed = page.program_torn(image, 0, lambda: False)
+    assert not changed
+    assert not page.programmed
+    assert page.is_erased()
+    page.program(image)  # bulk path on a genuinely erased page
+    assert bytes(page.data) == image
+
+
+@pytest.mark.parametrize("seed", [5, 29])
+def test_torn_program_then_program_matches_and_oracle(seed):
+    """Partially landed pulses flip the programmed flag, so the follow-up
+    program takes the general AND path — equal to the reference."""
+    rng = random.Random(seed)
+    page = FlashPage(PAGE_SIZE, OOB_SIZE)
+    image = bytes(rng.randrange(0x100) for _ in range(PAGE_SIZE))
+    decide_rng = random.Random(seed + 1)
+    changed = page.program_torn(image, 0, lambda: decide_rng.random() < 0.5)
+    assert changed
+    assert page.programmed
+    oracle = bytearray(page.data)  # the torn state is the new baseline
+    page.program(image)
+    _reference_program(oracle, image, 0)
+    assert bytes(page.data) == bytes(oracle)
+
+
+# ----------------------------------------------------------------------
+# Device-level write/append across SLC / MLC / pSLC modes
+# ----------------------------------------------------------------------
+
+MODES = [
+    pytest.param(SessionConfig(backend="noftl", logical_pages=64), id="emulator-slc"),
+    pytest.param(
+        SessionConfig(backend="noftl", logical_pages=64, platform="openssd",
+                      mode=IPAMode.PSLC),
+        id="openssd-pslc",
+    ),
+    pytest.param(
+        SessionConfig(backend="noftl", logical_pages=64, platform="openssd",
+                      mode=IPAMode.ODD_MLC),
+        id="openssd-odd-mlc",
+    ),
+    pytest.param(
+        SessionConfig(backend="blockssd", logical_pages=64),
+        id="blockssd-slc",
+    ),
+]
+
+
+@pytest.mark.parametrize("config", MODES)
+def test_device_write_append_read_matches_oracle(config):
+    device = open_device(config)
+    page_size = device.page_size
+    tail = 64
+    body = page_size - tail
+    rng = random.Random(113)
+    oracles: dict[int, bytearray] = {}
+
+    def full_write(lpn: int, stamp: int) -> None:
+        image = bytes([stamp % 251]) * body + b"\xff" * tail
+        device.write(lpn, image, 0.0)
+        oracles[lpn] = bytearray(image)
+
+    cursors: dict[int, int] = {}
+    for lpn in range(16):
+        full_write(lpn, lpn)
+        cursors[lpn] = 0
+    appends = vetoes = 0
+    for step in range(300):
+        lpn = rng.randrange(16)
+        length = 4
+        cursor = cursors[lpn]
+        if cursor + length > tail:
+            full_write(lpn, step)
+            cursors[lpn] = 0
+            continue
+        offset = body + cursor
+        payload = bytes(rng.randrange(0x100) for _ in range(length))
+        if device.can_write_delta(lpn, offset, length):
+            device.write_delta(lpn, offset, payload, 0.0)
+            # Appending into erased cells: the ISPP AND degenerates to
+            # the payload itself, on every mode and backend.
+            oracles[lpn][offset : offset + length] = payload
+            cursors[lpn] = cursor + length
+            appends += 1
+        else:
+            vetoes += 1
+            full_write(lpn, step)
+            cursors[lpn] = 0
+    assert appends > 0  # every mode must exercise the append path
+    for lpn, oracle in oracles.items():
+        assert device.read(lpn, 0.0).data == bytes(oracle), f"lpn {lpn}"
+
+
+# ----------------------------------------------------------------------
+# Buffer-pool hit fast path vs the resumable fetch program
+# ----------------------------------------------------------------------
+
+def _make_pool() -> BufferPool:
+    def loader(lpn: int, now: float):
+        return SlottedPage.format(lpn, PAGE_SIZE, 0), 0, 25.0
+
+    def flusher(frame, now: float):
+        return "oop", 200.0
+
+    return BufferPool(8, loader, flusher)
+
+
+def test_try_pin_fast_path_matches_fetch_program():
+    fast, slow = _make_pool(), _make_pool()
+    rng = random.Random(7)
+    accesses = [rng.randrange(24) for _ in range(400)]
+    for index, lpn in enumerate(accesses):
+        dirty = index % 5 == 0
+        fast.fetch(lpn, 0.0)  # try_pin short-circuit on hits
+        fast.unpin(lpn, dirty)
+        run_program(slow.fetch_program(lpn), 0.0)  # always the program path
+        slow.unpin(lpn, dirty)
+    assert vars(fast.stats) == vars(slow.stats)
+    assert list(fast._frames) == list(slow._frames)  # identical LRU order
+    assert fast.dirty_count == slow.dirty_count
+
+
+# ----------------------------------------------------------------------
+# Heap-based greedy victim selection vs the first-wins linear scan
+# ----------------------------------------------------------------------
+
+class _StubMapping:
+    def __init__(self, valid: dict) -> None:
+        self._valid = valid
+
+    def valid_count(self, key) -> int:
+        return self._valid[key]
+
+
+def _reference_greedy(candidates, mapping, erase_counts):
+    best = None
+    best_rank = None
+    for key in candidates:
+        rank = (mapping.valid_count(key), erase_counts.get(key, 0))
+        if best_rank is None or rank < best_rank:
+            best, best_rank = key, rank
+    return best
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_greedy_heap_matches_reference_scan(seed):
+    rng = random.Random(seed)
+    candidates = [(chip, block) for chip in range(4) for block in range(8)]
+    rng.shuffle(candidates)
+    # Narrow value ranges force plenty of ties: the tie-break (earliest
+    # candidate wins) is exactly what the heap rank must preserve.
+    valid = {key: rng.randrange(3) for key in candidates}
+    erase_counts = {key: rng.randrange(2) for key in candidates if rng.random() < 0.7}
+    mapping = _StubMapping(valid)
+    assert greedy(candidates, mapping, erase_counts) == _reference_greedy(
+        candidates, mapping, erase_counts
+    )
+    assert greedy([], mapping, erase_counts) is None
+
+
+# ----------------------------------------------------------------------
+# Telemetry short-circuit: instrumentation must not perturb simulation
+# ----------------------------------------------------------------------
+
+def test_telemetry_fast_path_leaves_counters_identical():
+    quiet = open_device(SessionConfig(backend="noftl", logical_pages=64))
+    loud = open_device(SessionConfig(
+        backend="noftl", logical_pages=64, telemetry=Telemetry(),
+    ))
+    rng = random.Random(31)
+    writes = [(rng.randrange(32), rng.randrange(0x100)) for _ in range(600)]
+    for device in (quiet, loud):
+        page_size = device.page_size
+        for lpn, fill in writes:
+            device.write(lpn, bytes([fill]) * page_size, 0.0)
+        for lpn in range(32):
+            device.read(lpn, 0.0)
+    assert quiet.snapshot() == loud.snapshot()
+    assert quiet.occupancy() == loud.occupancy()

@@ -1,0 +1,155 @@
+"""The perfkit harness: registry, runner determinism, comparator gating."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.perfkit import (
+    REGISTRY,
+    Bench,
+    SCHEMA,
+    compare_results,
+    default_output_name,
+    get_bench,
+    load_results,
+    render_comparison,
+    render_report,
+    run_bench,
+    run_benchmarks,
+    write_results,
+)
+
+#: The fast benches tests actually execute (the loadtest pair is
+#: covered by its own CI smoke jobs and stays out of the unit suite).
+FAST_BENCHES = (
+    "ispp_program", "delta_codec", "buffer_pool", "wal_group_commit",
+    "hostq_events",
+)
+
+
+def test_stock_benches_registered():
+    expected = set(FAST_BENCHES) | {
+        "noftl_write_gc", "device_loadtest", "txn_loadtest",
+    }
+    assert expected <= set(REGISTRY)
+    for bench in REGISTRY.values():
+        assert bench.description
+
+
+def test_get_bench_unknown_name():
+    with pytest.raises(ReproError, match="unknown bench"):
+        get_bench("warp-drive")
+
+
+@pytest.mark.parametrize("name", FAST_BENCHES)
+def test_bench_counts_are_deterministic(name):
+    bench = REGISTRY[name]
+    first = run_bench(bench, quick=True)
+    second = run_bench(bench, quick=True)
+    assert first.counts == second.counts
+    assert first.ops == second.ops > 0
+    assert len(first.wall_us) == 2  # quick repeats
+    assert all(us > 0 for us in first.wall_us)
+
+
+def test_quick_and_full_counts_match():
+    """The CI contract: a quick run compares against a full baseline."""
+    bench = REGISTRY["buffer_pool"]
+    assert run_bench(bench, quick=True).counts == run_bench(bench, quick=False).counts
+
+
+def test_runner_flags_nondeterministic_bench():
+    ticks = []
+
+    def setup(quick):
+        return ticks
+
+    def run(state):
+        state.append(1)
+        return 1
+
+    def counts(state):
+        return {"ticks": len(state)}  # grows across repeats: drifts
+
+    rogue = Bench("rogue", "drifting counts", setup, run, counts)
+    with pytest.raises(ReproError, match="nondeterministic"):
+        run_bench(rogue, quick=True)
+
+
+def test_payload_roundtrip(tmp_path):
+    payload = run_benchmarks(
+        ["buffer_pool"], quick=True, annotations={"note": "unit test"}
+    )
+    assert payload["schema"] == SCHEMA
+    assert payload["annotations"] == {"note": "unit test"}
+    target = write_results(payload, tmp_path / "BENCH_test.json")
+    loaded = load_results(target)
+    assert loaded == json.loads(json.dumps(payload))  # JSON-clean
+    assert "buffer_pool" in render_report(loaded)
+
+
+def test_load_results_rejects_foreign_json(tmp_path):
+    path = tmp_path / "other.json"
+    path.write_text('{"schema": "something-else"}')
+    with pytest.raises(ReproError, match="not a perfkit result"):
+        load_results(path)
+
+
+def _payload(best_us=1000.0, counts=None):
+    return {
+        "schema": SCHEMA,
+        "quick": False,
+        "benches": {
+            "demo": {
+                "description": "demo",
+                "repeats": 2,
+                "ops": 100,
+                "wall_us": [best_us, best_us * 1.1],
+                "best_us": best_us,
+                "mean_us": best_us * 1.05,
+                "ops_per_sec": 100 / (best_us / 1e6),
+                "counts": dict(counts or {"events": 42}),
+            }
+        },
+    }
+
+
+def test_compare_identical_passes():
+    assert compare_results(_payload(), _payload()) == []
+
+
+def test_compare_flags_count_drift():
+    problems = compare_results(_payload(), _payload(counts={"events": 43}))
+    assert len(problems) == 1
+    assert "count 'events' drifted 42 -> 43" in problems[0]
+
+
+def test_compare_flags_wall_regression_over_threshold():
+    problems = compare_results(_payload(1000.0), _payload(1400.0), threshold=0.30)
+    assert len(problems) == 1
+    assert "wall-clock regression 1.40x" in problems[0]
+    # Below the threshold (and any improvement) passes.
+    assert compare_results(_payload(1000.0), _payload(1250.0)) == []
+    assert compare_results(_payload(1000.0), _payload(400.0)) == []
+
+
+def test_compare_flags_missing_bench():
+    current = _payload()
+    current["benches"] = {}
+    problems = compare_results(_payload(), current)
+    assert problems == ["demo: missing from the current run"]
+
+
+def test_render_comparison_status_column():
+    table, problems = render_comparison(_payload(1000.0), _payload(1400.0))
+    assert "SLOW" in table
+    assert problems
+    table, problems = render_comparison(_payload(), _payload())
+    assert "ok" in table
+    assert not problems
+
+
+def test_default_output_names():
+    assert default_output_name(False) == "BENCH_baseline.json"
+    assert default_output_name(True) == "BENCH_quick.json"

@@ -9,7 +9,21 @@ import importlib
 import pytest
 
 SURFACE = {
-    "repro": ["__version__"],
+    "repro": [
+        "__version__", "Session", "SessionConfig",
+        "open_device", "open_session",
+    ],
+    "repro.session": [
+        "PLATFORMS", "Session", "SessionConfig",
+        "build_session_engine", "open_device", "open_session",
+    ],
+    "repro.perfkit": [
+        "Bench", "BenchResult", "REGISTRY", "SCHEMA", "DEFAULT_THRESHOLD",
+        "all_benches", "get_bench", "register", "register_default_benches",
+        "run_bench", "run_benchmarks", "render_report",
+        "compare_results", "render_comparison",
+        "load_results", "write_results", "default_output_name",
+    ],
     "repro.flash": [
         "FlashGeometry", "FlashMemory", "CellType", "PageKind",
         "PhysicalAddress", "LatencyModel", "FaultInjector",

@@ -1,0 +1,125 @@
+"""The unified session-construction API (repro.session).
+
+``SessionConfig`` + ``open_session`` is the one construction path every
+harness uses; these tests pin its behaviour and prove the deprecated
+``testbed`` entry points are faithful thin wrappers over it.
+"""
+
+import pytest
+
+from repro import Session, SessionConfig, open_device, open_session
+from repro.core import NxMScheme, SCHEME_OFF
+from repro.errors import ReproError
+from repro.ftl.blockdev import BlockSSD
+from repro.ftl.region import IPAMode
+from repro.ftl.sharded import ShardedDevice
+from repro.storage.engine import StorageEngine
+from repro.telemetry import Telemetry
+from repro.testbed import build_engine, loaded_db_pages, make_device
+from repro.workloads import TPCB, TPCBConfig
+from repro.testbed import load_scaled
+
+
+def test_open_session_defaults():
+    session = open_session(SessionConfig(logical_pages=128))
+    assert isinstance(session, Session)
+    assert isinstance(session.engine, StorageEngine)
+    assert session.device.logical_pages == 128
+    assert session.engine.device is session.device
+    # Buffer defaults to half the device.
+    assert session.engine.pool.capacity == max(8, 128 // 2)
+    assert session.telemetry is None
+
+
+def test_open_session_bare_keywords():
+    session = open_session(backend="blockssd", logical_pages=64)
+    assert isinstance(session.device, BlockSSD)
+
+
+def test_open_session_overrides_config():
+    base = SessionConfig(logical_pages=64)
+    session = open_session(base, backend="sharded", shards=2)
+    assert isinstance(session.device, ShardedDevice)
+    assert session.config.logical_pages == 64
+    # The original config is untouched (frozen dataclass semantics).
+    assert base.backend == "noftl"
+
+
+def test_session_engine_kwargs_pass_through():
+    session = open_session(SessionConfig(
+        logical_pages=64, scheme=NxMScheme(2, 4),
+        buffer_pages=16, eviction="non-eager",
+        engine=dict(log_capacity_bytes=12345, group_commit=4),
+    ))
+    assert session.engine.config.log_capacity_bytes == 12345
+    assert session.engine.config.group_commit == 4
+    assert session.engine.pool.capacity == 16
+    assert session.engine.config.scheme == NxMScheme(2, 4)
+
+
+@pytest.mark.parametrize("overrides,message", [
+    (dict(backend="nvme"), "unknown backend"),
+    (dict(platform="fpga"), "unknown platform"),
+    (dict(backend="sharded", platform="openssd"), "emulator platform only"),
+    (dict(logical_pages=0), "logical page"),
+    (dict(backend="sharded", shards=0), "shards"),
+    (dict(eviction="random"), "eviction"),
+])
+def test_validate_rejects(overrides, message):
+    with pytest.raises(ReproError, match=message):
+        open_session(SessionConfig(**overrides))
+
+
+def test_telemetry_threads_through_device_and_engine():
+    telemetry = Telemetry()
+    session = open_session(SessionConfig(logical_pages=64, telemetry=telemetry))
+    assert session.telemetry is telemetry
+    assert session.engine.telemetry is telemetry
+
+
+@pytest.mark.parametrize("backend,platform", [
+    ("noftl", "emulator"),
+    ("noftl", "openssd"),
+    ("blockssd", "emulator"),
+    ("blockssd", "openssd"),
+    ("sharded", "emulator"),
+])
+def test_make_device_wrapper_matches_open_device(backend, platform):
+    config = SessionConfig(
+        backend=backend, logical_pages=96, platform=platform,
+        mode=IPAMode.PSLC, shards=2,
+    )
+    via_session = open_device(config)
+    via_testbed = make_device(
+        backend, 96, platform=platform, mode=IPAMode.PSLC, shards=2
+    )
+    assert type(via_testbed) is type(via_session)
+    assert via_testbed.logical_pages == via_session.logical_pages
+    assert via_testbed.occupancy() == via_session.occupancy()
+    assert len(via_testbed.regions) == len(via_session.regions)
+
+
+def test_build_engine_wrapper_delegates():
+    device = make_device("noftl", 64)
+    engine = build_engine(device, scheme=SCHEME_OFF, log_capacity_bytes=777)
+    assert isinstance(engine, StorageEngine)
+    assert engine.config.log_capacity_bytes == 777
+    assert engine.pool.capacity == max(8, 64 // 2)
+
+
+def test_loaded_pages_accessor_matches_wrapper():
+    session = open_session(SessionConfig(
+        logical_pages=400, scheme=NxMScheme(2, 4), buffer_pages=400,
+    ))
+    load_scaled(
+        session.engine, TPCB(TPCBConfig(accounts_per_branch=1000)),
+        buffer_fraction=0.5,
+    )
+    loaded = session.engine.loaded_pages()
+    assert loaded > 0
+    assert loaded_db_pages(session.engine) == loaded
+    # The accessor equals the per-region cursor arithmetic it replaced.
+    assert loaded == sum(
+        session.engine._region_cursors[region.name] - region.lpn_start
+        for region in session.device.regions
+    )
